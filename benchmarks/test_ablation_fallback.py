@@ -1,0 +1,76 @@
+"""Ablation — fallback/cooldown under injected DMA failures (§4).
+
+With DMA faults injected, the fallback machinery reroutes failed
+segments (and, during the cooldown window, all traffic) over the RPC
+socket, preserving progress at the cost of host CPU — kernel-socket
+copies return to the host exactly while the cooldown is active.  After
+cooldown a probe transfer re-arms DMA.
+
+The expected signature is therefore NOT a throughput collapse (the
+fallback is engineered to carry full traffic) but a multi-× host-CPU
+spike while faults keep tripping cooldowns — the offload benefit is
+what degrades.
+"""
+
+from conftest import BENCH_CLIENTS, publish
+
+from repro.bench import format_table, run_rados_bench
+from repro.cluster import DocephProfile, build_doceph_cluster
+from repro.core import ProxyObjectStore
+from repro.sim import Environment
+
+MB = 1 << 20
+DURATION = 8.0
+
+
+def run_with(fault_rate: float):
+    env = Environment()
+    profile = DocephProfile(dma_fault_rate=fault_rate,
+                            cooldown_seconds=0.5)
+    cluster = build_doceph_cluster(env, profile)
+    result = run_rados_bench(cluster, object_size=4 * MB,
+                             clients=BENCH_CLIENTS, duration=DURATION,
+                             warmup=1.5)
+    stores = [o.store for o in cluster.osds
+              if isinstance(o.store, ProxyObjectStore)]
+    failures = sum(s.fallback.failures for s in stores)
+    fallback_segments = sum(s.fallback.fallback_segments for s in stores)
+    probes_ok = sum(s.fallback.probes_succeeded for s in stores)
+    return result, failures, fallback_segments, probes_ok
+
+
+def test_ablation_fallback(benchmark, results_dir):
+    def run():
+        return {rate: run_with(rate) for rate in (0.0, 0.02)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    r0, f0, seg0, p0 = results[0.0]
+    r1, f1, seg1, p1 = results[0.02]
+
+    publish(results_dir, "ablation_fallback", format_table(
+        ["fault rate", "iops", "avg latency", "host CPU", "dma failures",
+         "fallback segs", "probes ok"],
+        [
+            ["0%", f"{r0.iops:.1f}", f"{r0.avg_latency:.3f}s",
+             f"{r0.host_utilization_pct:.1f}%", f0, seg0, p0],
+            ["2%", f"{r1.iops:.1f}", f"{r1.avg_latency:.3f}s",
+             f"{r1.host_utilization_pct:.1f}%", f1, seg1, p1],
+        ],
+        title="Ablation — fallback/cooldown under injected DMA faults "
+              "(DoCeph, 4MB writes)",
+    ))
+
+    # Fault-free run never falls back.
+    assert f0 == 0 and seg0 == 0
+    # Faulty run: failures happened, fallback carried segments, and
+    # probes re-enabled DMA after cooldowns.
+    assert f1 > 0
+    assert seg1 > f1  # cooldown reroutes more than just failed segments
+    assert p1 > 0
+    # The system keeps making progress: throughput stays within a band
+    # of the fault-free run (the fallback path is engineered to carry
+    # full traffic during cooldowns) ...
+    assert r1.iops > 0.6 * r0.iops
+    # ... but the price is host CPU: the kernel-socket path brings the
+    # copies back onto the host — the very thing DMA offload removed.
+    assert r1.host_utilization_pct > 2.0 * r0.host_utilization_pct

@@ -1,0 +1,56 @@
+"""Ablation — DMA segment-size sweep (the ≈2 MB hardware cap, §3.3/§4).
+
+The BF3 caps single DMA transfers at ~2 MB, forcing segmentation.  This
+sweep asks: how much does the cap cost, and would a larger cap help?
+Smaller segments mean more per-transfer setup overheads; larger
+segments amortize them (but reduce pipelining granularity).
+"""
+
+from dataclasses import replace
+
+from conftest import BENCH_CLIENTS, publish
+
+from repro.bench import format_table, run_rados_bench
+from repro.cluster import DocephProfile, build_doceph_cluster
+from repro.sim import Environment
+
+MB = 1 << 20
+DURATION = 6.0
+
+
+def run_with(segment_bytes: int):
+    env = Environment()
+    profile = DocephProfile(dma_max_transfer=segment_bytes)
+    cluster = build_doceph_cluster(env, profile)
+    return run_rados_bench(cluster, object_size=16 * MB,
+                           clients=BENCH_CLIENTS, duration=DURATION,
+                           warmup=1.5)
+
+
+def test_ablation_segment_size(benchmark, results_dir):
+    sizes = [512 * 1024, 1 * MB, 2 * MB, 4 * MB]
+
+    def run():
+        return {s: run_with(s) for s in sizes}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [f"{s // 1024}KB", f"{r.iops:.1f}", f"{r.avg_latency:.3f}s",
+         f"{r.throughput_bytes / 1e6:.0f} MB/s"]
+        for s, r in results.items()
+    ]
+    publish(results_dir, "ablation_segment_size", format_table(
+        ["segment", "iops", "avg latency", "throughput"],
+        rows,
+        title="Ablation — DMA segment size (DoCeph, 16MB writes)",
+    ))
+
+    # Small segments multiply per-transfer setup: 512 KB is strictly
+    # worse than the 2 MB hardware default.
+    assert results[2 * MB].iops > results[512 * 1024].iops
+    assert results[512 * 1024].avg_latency > results[2 * MB].avg_latency
+    # A hypothetically larger cap (4 MB) does not help much once
+    # pipelining hides the setup (< 25 % improvement) — the 2 MB cap is
+    # largely overcome by DoCeph's optimizations, as the paper argues.
+    assert results[4 * MB].iops < 1.25 * results[2 * MB].iops

@@ -1,0 +1,73 @@
+"""Extension — client-concurrency sweep.
+
+The paper evaluates only at 16 concurrent clients.  This sweep varies
+offered concurrency to expose the two systems' queueing behaviour:
+at low concurrency DoCeph pays its full per-request offload latency
+(no pipelining across requests), while at high concurrency both
+systems saturate the same storage ceiling and the gap closes — i.e.
+the paper's 16-client operating point already sits in the
+throughput-converged regime for 4 MB objects.
+"""
+
+from conftest import publish
+
+from repro.bench import format_table, run_rados_bench
+from repro.cluster import build_baseline_cluster, build_doceph_cluster
+from repro.sim import Environment
+
+MB = 1 << 20
+DURATION = 6.0
+
+
+def run_with(builder, clients):
+    env = Environment()
+    cluster = builder(env)
+    return run_rados_bench(cluster, object_size=4 * MB, clients=clients,
+                           duration=DURATION, warmup=1.5)
+
+
+def test_ext_concurrency(benchmark, results_dir):
+    levels = [1, 4, 16, 48]
+
+    def run():
+        return {
+            c: (run_with(build_baseline_cluster, c),
+                run_with(build_doceph_cluster, c))
+            for c in levels
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for clients, (base, doceph) in results.items():
+        rows.append([
+            clients,
+            f"{base.iops:.1f}",
+            f"{doceph.iops:.1f}",
+            f"{base.avg_latency * 1e3:.1f}ms",
+            f"{doceph.avg_latency * 1e3:.1f}ms",
+            f"{100 * (doceph.avg_latency / base.avg_latency - 1):+.0f}%",
+        ])
+    publish(results_dir, "ext_concurrency", format_table(
+        ["clients", "base iops", "doceph iops", "base lat", "doceph lat",
+         "lat overhead"],
+        rows,
+        title="Extension — concurrency sweep (4MB writes)",
+    ))
+
+    # Throughput grows with concurrency then saturates, in both systems.
+    for system in (0, 1):
+        iops = [results[c][system].iops for c in levels]
+        assert iops[0] < iops[1] < iops[2]
+        assert iops[3] < 1.3 * iops[2]  # saturated by 16 clients
+
+    # The relative latency overhead is largest at queue-free depth 1
+    # (the raw offload cost) and shrinks once queueing dominates.
+    overhead = {
+        c: results[c][1].avg_latency / results[c][0].avg_latency - 1
+        for c in levels
+    }
+    assert overhead[1] > overhead[16]
+    assert overhead[1] > overhead[48]
+    # saturated regimes converge within ~15 %
+    assert abs(overhead[48]) < 0.15

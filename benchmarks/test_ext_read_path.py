@@ -1,0 +1,64 @@
+"""Extension — the read path (§5.5, the paper's future work,
+implemented).
+
+The paper defers read evaluation but predicts: "similar convergence
+behavior at large block sizes … potentially with even better relative
+performance since reads avoid replication coordination overhead."  The
+symmetric proxy (request metadata over RPC, data back via the reverse
+DMA pipeline) lets us test that prediction.
+"""
+
+from conftest import BENCH_CLIENTS, publish
+
+from repro.bench import format_table, run_read_bench
+from repro.cluster import build_baseline_cluster, build_doceph_cluster
+from repro.sim import Environment
+
+MB = 1 << 20
+DURATION = 6.0
+
+
+def run_reads(builder, size):
+    env = Environment()
+    cluster = builder(env)
+    return run_read_bench(cluster, object_size=size,
+                          clients=BENCH_CLIENTS, duration=DURATION,
+                          warmup=1.5)
+
+
+def test_ext_read_path(benchmark, results_dir):
+    def run():
+        out = {}
+        for size in (1 * MB, 16 * MB):
+            out[size] = (
+                run_reads(build_baseline_cluster, size),
+                run_reads(build_doceph_cluster, size),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for size, (base, doceph) in results.items():
+        rows.append([
+            f"{size // MB}MB",
+            f"{base.iops:.0f}",
+            f"{doceph.iops:.0f}",
+            f"{base.host_utilization_pct:.1f}%",
+            f"{doceph.host_utilization_pct:.1f}%",
+        ])
+    publish(results_dir, "ext_read_path", format_table(
+        ["size", "base iops", "doceph iops", "base host CPU",
+         "doceph host CPU"],
+        rows,
+        title="Extension — read path, Baseline vs DoCeph (paper §5.5)",
+    ))
+
+    for size, (base, doceph) in results.items():
+        # CPU offloading benefits carry over to reads.
+        assert doceph.host_utilization_pct < 0.3 * base.host_utilization_pct
+        assert doceph.iops > 0
+    # Paper's prediction: convergence at large blocks (reads avoid
+    # replication coordination) — gap at 16 MB under 30 %.
+    base16, doceph16 = results[16 * MB]
+    assert doceph16.iops > 0.7 * base16.iops

@@ -1,0 +1,34 @@
+"""Fig. 10 — Average IOPS, Baseline vs DoCeph (1–16 MB writes).
+
+Paper claims: DoCeph is ~30 % slower at 1 MB (304 vs 435 IOPS) but the
+gap narrows to ~6 % at 4 MB, ~13 % at 8 MB and ~4 % at 16 MB — DoCeph
+matches baseline throughput for large objects while saving >90 % host
+CPU.
+"""
+
+from conftest import publish
+
+from repro.bench import render_fig10
+
+
+def test_fig10_iops(benchmark, sweep, results_dir):
+    points = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    publish(results_dir, "fig10_iops", render_fig10(points))
+
+    gaps = []
+    for p in points:
+        gap = 1 - p.doceph.iops / p.baseline.iops
+        gaps.append(gap)
+
+    # 1 MB: substantial gap (paper: 30 %; band 15–45 %).
+    assert 0.15 < gaps[0] < 0.45
+    # 16 MB: near parity (paper: 4 %; band < 15 %).
+    assert gaps[-1] < 0.15
+    # The 1 MB gap is the largest.
+    assert gaps[0] == max(gaps)
+
+    # IOPS scales down with size roughly proportionally to bytes:
+    # the byte-throughput stays within a band across sizes.
+    for system in ("baseline", "doceph"):
+        thr = [getattr(p, system).iops * p.object_size for p in points]
+        assert max(thr) < 2.0 * min(thr)

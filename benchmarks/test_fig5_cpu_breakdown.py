@@ -1,0 +1,37 @@
+"""Fig. 5 — CPU usage breakdown by component (Baseline, 4 MB writes).
+
+Paper claims reproduced here:
+* Messenger accounts for ~80 % of Ceph CPU at 1 Gbps (81.05 %) and at
+  100 Gbps (82.48 %) — the share is link-speed independent;
+* total Ceph CPU (single-core normalized) rises steeply with link speed
+  (24 % → 70.08 %) because throughput rises, while the *breakdown*
+  stays the same: the bottleneck is CPU-bound network processing, not
+  link capacity.
+"""
+
+from conftest import BENCH_CLIENTS, BENCH_DURATION, publish
+
+from repro.bench import experiment_fig5, render_fig5
+
+
+def test_fig5_cpu_breakdown(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig5(duration=BENCH_DURATION,
+                                clients=BENCH_CLIENTS),
+        rounds=1, iterations=1,
+    )
+    publish(results_dir, "fig5_cpu_breakdown", render_fig5(rows))
+
+    by_label = {r.label: r for r in rows}
+    # Messenger dominates at BOTH speeds (paper: 81.05 % / 82.48 %).
+    assert by_label["1G"].msgr_share > 0.75
+    assert by_label["100G"].msgr_share > 0.75
+    # ... and the share is nearly link-speed independent (< 8 pp apart).
+    assert abs(by_label["1G"].msgr_share - by_label["100G"].msgr_share) < 0.08
+    # Total Ceph CPU rises steeply with link speed (paper: 24 → 70).
+    assert (by_label["100G"].total_cpu_pct
+            > 3 * by_label["1G"].total_cpu_pct)
+    # ObjectStore and OSD threads are each minor contributors.
+    for row in rows:
+        assert row.objectstore_share < 0.15
+        assert row.osd_share < 0.15

@@ -1,0 +1,32 @@
+"""Fig. 7 — Host CPU utilization, Baseline vs DoCeph (1–16 MB writes).
+
+Paper claims: baseline burns 94.2/70.1/68.9/67.2 % of a core while
+DoCeph stays flat at 5.4–5.8 %, a saving of 91.8–94.2 %.  The saving is
+the paper's headline result ("cuts host CPU usage by up to 92 %").
+"""
+
+from conftest import publish
+
+from repro.bench import render_fig7
+
+
+def test_fig7_host_cpu(benchmark, sweep, results_dir):
+    points = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    publish(results_dir, "fig7_host_cpu", render_fig7(points))
+
+    for p in points:
+        # DoCeph's host CPU is low and flat (paper: 5.39–5.75 %).
+        assert p.doceph.host_utilization_pct < 10.0
+        # The headline: ≥ 85 % host CPU saving at every size
+        # (paper: 91.8–94.2 %).
+        assert p.cpu_saving_pct > 85.0
+
+    # Baseline utilization *decreases* with request size (per-op
+    # overheads amortize) but stays high (paper: 94.2 → 67.2).
+    base = [p.baseline.host_utilization_pct for p in points]
+    assert base[0] == max(base)
+    assert base[-1] > 40.0
+
+    # DoCeph is flat across sizes: spread under 3 percentage points.
+    doceph = [p.doceph.host_utilization_pct for p in points]
+    assert max(doceph) - min(doceph) < 3.0

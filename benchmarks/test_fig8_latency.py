@@ -1,0 +1,36 @@
+"""Fig. 8 — Average write latency, Baseline vs DoCeph (1–16 MB).
+
+Paper claims: DoCeph is slower at every size, but the overhead shrinks
+from ~67 % at 1 MB (0.05 s vs 0.03 s) to ~6 % at 16 MB (0.57 s vs
+0.54 s) because segment pipelining amortizes the DMA costs at larger
+block sizes.
+"""
+
+from conftest import publish
+
+from repro.bench import render_fig8
+
+
+def test_fig8_latency(benchmark, sweep, results_dir):
+    points = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    publish(results_dir, "fig8_latency", render_fig8(points))
+
+    overheads = []
+    for p in points:
+        overhead = p.doceph.avg_latency / p.baseline.avg_latency - 1
+        overheads.append(overhead)
+        # DoCeph never beats baseline on latency (offload adds
+        # coordination), and the penalty is bounded.
+        assert overhead > -0.02
+        assert overhead < 1.0
+
+    # The penalty shrinks with size: 1 MB worst, 16 MB best
+    # (paper: 67 % → 6 %).
+    assert overheads[0] == max(overheads)
+    assert overheads[-1] < 0.15
+    assert overheads[0] > 3 * overheads[-1]
+
+    # Latency grows with request size in both systems.
+    for system in ("baseline", "doceph"):
+        lats = [getattr(p, system).avg_latency for p in points]
+        assert lats == sorted(lats)

@@ -1,0 +1,25 @@
+"""Table 2 — Context switches: Messenger vs ObjectStore.
+
+Paper claim: the messenger generates ~9.95× more context switches than
+the ObjectStore (7475 vs 751), because TCP send/recv syscalls force
+user↔kernel transitions per socket operation while BlueStore batches
+its work.
+"""
+
+from conftest import BENCH_CLIENTS, BENCH_DURATION, publish
+
+from repro.bench import experiment_table2, render_table2
+
+
+def test_table2_context_switches(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: experiment_table2(duration=BENCH_DURATION,
+                                  clients=BENCH_CLIENTS),
+        rounds=1, iterations=1,
+    )
+    publish(results_dir, "table2_context_switches", render_table2(result))
+
+    # Messenger context switches dominate by roughly an order of
+    # magnitude (paper: 9.95x; shape band: 5x–25x).
+    assert result.messenger_per_s > result.objectstore_per_s
+    assert 5.0 < result.ratio < 25.0

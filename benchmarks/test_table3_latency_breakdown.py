@@ -1,0 +1,41 @@
+"""Table 3 — DoCeph average latency breakdown (Host write / DMA /
+DMA-wait / Others).
+
+Paper claims: host write and DMA are small and grow roughly linearly
+with size; DMA-wait grows in absolute terms (0.0224 → 0.0676 s) but is
+outpaced by Others, which dominates total latency at large sizes.
+"""
+
+from conftest import publish
+
+from repro.bench import experiment_table3, render_table3
+from conftest import BENCH_CLIENTS, BENCH_DURATION
+
+
+def test_table3_latency_breakdown(benchmark, sweep, results_dir):
+    rows = benchmark.pedantic(
+        lambda: experiment_table3(duration=BENCH_DURATION,
+                                  clients=BENCH_CLIENTS),
+        rounds=1, iterations=1,
+    )
+    publish(results_dir, "table3_latency_breakdown", render_table3(rows))
+
+    assert len(rows) == 4
+    # Components are non-negative and sum to the total by construction.
+    for row in rows:
+        assert row.host_write >= 0 and row.dma >= 0 and row.dma_wait >= 0
+        s = row.host_write + row.dma + row.dma_wait + row.others
+        assert abs(s - row.total) < 1e-9
+
+    # Host write grows with size (it is device service time).
+    host_writes = [r.host_write for r in rows]
+    assert host_writes == sorted(host_writes)
+
+    # DMA engine time grows with size (more segments).
+    dmas = [r.dma for r in rows]
+    assert dmas == sorted(dmas)
+
+    # Others dominates at 16 MB (paper: 0.486 of 0.57 s).
+    big = rows[-1]
+    assert big.others > big.dma_wait
+    assert big.others > 0.4 * big.total

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Robustness demo: DMA faults, fallback, cooldown, and probing (§4).
+
+Injects a burst of DMA failures mid-benchmark and narrates what the
+fallback machinery does: failed segments reroute to the RPC socket,
+cooldown pins all traffic there, a probe transfer re-arms DMA, and —
+the defining cost — host CPU rises exactly while the socket path is
+active.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro.bench import CpuSampler
+from repro.cluster import BENCH_POOL, DocephProfile, build_doceph_cluster
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    profile = DocephProfile(cooldown_seconds=1.0)
+    cluster = build_doceph_cluster(env, profile)
+    boot = env.process(cluster.boot(), name="boot")
+    env.run(until=boot)
+    client = cluster.client
+
+    # Fault window: every DMA transfer between t=4 s and t=5 s fails.
+    fault_window = (env.now + 4.0, env.now + 5.0)
+    for node in cluster.nodes:
+        node.dma.fault_hook = (
+            lambda n: fault_window[0] <= env.now < fault_window[1]
+        )
+
+    sampler = CpuSampler(env, cluster.host_cpus(), period=1.0)
+    sampler.start()
+
+    done = []
+
+    def writer(idx: int):
+        seq = 0
+        while env.now < fault_window[1] + 5.0:
+            yield from client.write_object(
+                BENCH_POOL, f"w{idx}-{seq}", 4 << 20
+            )
+            seq += 1
+        done.append(idx)
+
+    workers = [env.process(writer(i)) for i in range(8)]
+    for w in workers:
+        env.run(until=w)
+    sampler.stop()
+
+    print("per-second host CPU (%): the spike marks the fallback window")
+    for name, series in sampler.samples.items():
+        bars = " ".join(f"{v:5.1f}" for v in series)
+        print(f"  {name:12} {bars}")
+
+    print("\nfallback machinery state:")
+    for osd in cluster.osds:
+        fb = osd.store.fallback
+        print(
+            f"  {osd.name}: failures={fb.failures} "
+            f"fallback_segments={fb.fallback_segments} "
+            f"probes={fb.probes_succeeded}/{fb.probes_attempted}"
+        )
+    total_writes = sum(o.client_ops for o in cluster.osds)
+    print(f"\nall {total_writes} writes committed — no request was lost; "
+          f"the price of the fault window was host CPU, not availability.")
+
+
+if __name__ == "__main__":
+    main()

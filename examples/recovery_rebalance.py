@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Failure, recovery, and rebalancing — on DPUs.
+
+Kills a storage node mid-life and watches the cluster heal: the monitor
+detects silence, marks the OSD out, CRUSH remaps its placement groups,
+and the surviving OSDs re-replicate the data — with all the recovery
+messaging running on the DPUs, so the host CPUs barely notice.
+
+Run:  python examples/recovery_rebalance.py
+"""
+
+from repro.bench import CpuSampler
+from repro.cluster import BENCH_POOL, DocephProfile, build_doceph_cluster
+from repro.sim import Environment
+
+
+def replica_count(cluster, names):
+    counts = {}
+    for name in names:
+        counts[name] = sum(
+            1
+            for store in cluster.stores
+            for objects in store.collections.values()
+            if name in objects
+        )
+    return counts
+
+
+def main() -> None:
+    env = Environment()
+    profile = DocephProfile(storage_nodes=3, pg_num=32)
+    cluster = build_doceph_cluster(env, profile)
+    boot = env.process(cluster.boot(), name="boot")
+    env.run(until=boot)
+    client = cluster.client
+
+    names = [f"obj-{i}" for i in range(24)]
+
+    def preload():
+        for name in names:
+            yield from client.write_object(BENCH_POOL, name, 4 << 20)
+
+    p = env.process(preload(), name="preload")
+    env.run(until=p)
+    counts = replica_count(cluster, names)
+    print(f"preloaded {len(names)} × 4 MiB objects, "
+          f"replicas per object: {set(counts.values())}")
+
+    sampler = CpuSampler(env, cluster.host_cpus())
+    sampler.start()
+    print("\n>>> osd.0 fails (marked out); CRUSH remaps its PGs <<<")
+    cluster.osdmap.mark_out(0)
+
+    t0 = env.now
+    env.run(until=t0 + 15.0)
+    sampler.stop()
+
+    for osd in cluster.osds:
+        r = osd.recovery
+        if r and (r.objects_recovered or r.pushes_sent):
+            print(f"  {osd.name}: pulled {r.objects_recovered} objects "
+                  f"({r.bytes_recovered >> 20} MiB), pushed {r.pushes_sent}")
+
+    counts = replica_count(cluster, names)
+    survivors = [i for i in range(3) if i != 0]
+    healthy = sum(
+        1 for name in names
+        if sum(
+            name in objects
+            for i in survivors
+            for objects in cluster.stores[i].collections.values()
+        ) == 2
+    )
+    print(f"\nafter recovery: {healthy}/{len(names)} objects back at "
+          f"full replication on the survivors")
+
+    print("\nhost CPU during recovery (per-second %):")
+    for name, series in sampler.samples.items():
+        if name.startswith("node0"):
+            continue  # the dead node
+        bars = " ".join(f"{v:4.1f}" for v in series)
+        print(f"  {name:12} {bars}")
+    print("\nthe hosts stayed near idle — recovery messaging ran on the "
+          "DPUs, backfill writes on BlueStore.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, which the
+PEP 517 editable-install path requires.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""Benchmark harness: RADOS bench workload, CPU metrics, and the
+per-figure/table experiment drivers."""
+
+from .experiments import (
+    ComparisonPoint,
+    MB,
+    PAPER,
+    SIZES,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_fig10,
+    experiment_table2,
+    experiment_table3,
+    run_comparison_sweep,
+)
+from .metrics import CATEGORY_LABELS, CpuSampler, CpuWindow
+from .radosbench import BenchResult, run_rados_bench, run_read_bench
+from .reporting import (
+    format_table,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "BenchResult",
+    "CATEGORY_LABELS",
+    "ComparisonPoint",
+    "CpuSampler",
+    "CpuWindow",
+    "MB",
+    "PAPER",
+    "SIZES",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_fig9",
+    "experiment_fig10",
+    "experiment_table2",
+    "experiment_table3",
+    "format_table",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_table2",
+    "render_table3",
+    "run_comparison_sweep",
+    "run_rados_bench",
+    "run_read_bench",
+]

@@ -1,0 +1,175 @@
+"""Measurement utilities: CPU utilization sampling and breakdowns.
+
+Reproduces the paper's measurement methodology (§5.1/§5.2):
+
+* utilization is sampled at 1 Hz over the benchmark window (htop/iostat
+  style) and reported **single-core normalized** (busy-cores × 100 —
+  the convention behind Fig. 5's right axis and Fig. 7's percentages);
+* per-category breakdowns follow Ceph's thread naming: ``msgr-worker``
+  (Messenger), ``bstore`` (ObjectStore), ``tp_osd_tp`` (OSD threads) —
+  mutually exclusive categories, as the paper notes;
+* context switches are counted per category over the window (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..hw.cpu import CpuComplex, CpuSnapshot
+from ..msgr.messenger import MSGR_CATEGORY
+from ..objectstore.bluestore import BSTORE_CATEGORY
+from ..osd.daemon import OSD_CATEGORY
+from ..sim import Environment
+
+__all__ = [
+    "CpuWindow",
+    "CpuSampler",
+    "CATEGORY_LABELS",
+]
+
+#: Display labels in the paper's vocabulary.
+CATEGORY_LABELS = {
+    MSGR_CATEGORY: "Messenger",
+    BSTORE_CATEGORY: "ObjectStore",
+    OSD_CATEGORY: "OSD threads",
+    "proxy": "Proxy",
+}
+
+
+@dataclass
+class CpuWindow:
+    """Accounting deltas of one CPU complex over one window."""
+
+    name: str
+    elapsed: float
+    busy_by_category: dict[str, float]
+    ctx_by_category: dict[str, int]
+
+    @property
+    def total_busy(self) -> float:
+        return sum(self.busy_by_category.values())
+
+    @property
+    def busy_cores(self) -> float:
+        """Average busy cores (single-core-normalized utilization /100)."""
+        return self.total_busy / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def utilization_pct(self) -> float:
+        """The paper's 'CPU utilization (%)': busy-cores × 100."""
+        return 100.0 * self.busy_cores
+
+    def category_share(self, category: str) -> float:
+        """Fraction of this window's busy time in ``category``."""
+        total = self.total_busy
+        if total <= 0:
+            return 0.0
+        return self.busy_by_category.get(category, 0.0) / total
+
+    def breakdown(self) -> dict[str, float]:
+        """Category → share of total busy time."""
+        total = self.total_busy
+        if total <= 0:
+            return {}
+        return {
+            cat: busy / total
+            for cat, busy in sorted(self.busy_by_category.items())
+        }
+
+    def ctx_rate(self, category: str) -> float:
+        """Context switches per second in ``category``."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.ctx_by_category.get(category, 0) / self.elapsed
+
+    @staticmethod
+    def between(
+        cpu: CpuComplex, start: CpuSnapshot, end: CpuSnapshot
+    ) -> "CpuWindow":
+        elapsed = end.time - start.time
+        busy = end.busy_since(start)
+        ctx = {
+            cat: end.ctx_by_category.get(cat, 0)
+            - start.ctx_by_category.get(cat, 0)
+            for cat in set(end.ctx_by_category) | set(start.ctx_by_category)
+        }
+        return CpuWindow(cpu.name, elapsed, busy, ctx)
+
+    @staticmethod
+    def merge(windows: list["CpuWindow"]) -> "CpuWindow":
+        """Aggregate windows (e.g. both storage nodes) by averaging —
+        the paper reports per-node averages."""
+        if not windows:
+            raise ValueError("nothing to merge")
+        n = len(windows)
+        busy: dict[str, float] = {}
+        ctx: dict[str, int] = {}
+        for w in windows:
+            for cat, b in w.busy_by_category.items():
+                busy[cat] = busy.get(cat, 0.0) + b / n
+            for cat, c in w.ctx_by_category.items():
+                ctx[cat] = ctx.get(cat, 0) + c // n
+        return CpuWindow(
+            name="+".join(w.name for w in windows),
+            elapsed=windows[0].elapsed,
+            busy_by_category=busy,
+            ctx_by_category=ctx,
+        )
+
+
+class CpuSampler:
+    """1 Hz utilization sampler over a set of CPU complexes.
+
+    Mirrors the paper's "sampling every second throughout the benchmark
+    duration": call :meth:`start` at the measurement window's opening,
+    :meth:`stop` at its close; per-second samples and the full-window
+    delta are then available.
+    """
+
+    def __init__(self, env: Environment, cpus: list[CpuComplex],
+                 period: float = 1.0) -> None:
+        self.env = env
+        self.cpus = cpus
+        self.period = period
+        self._start_snaps: Optional[list[CpuSnapshot]] = None
+        self._end_windows: Optional[list[CpuWindow]] = None
+        self.samples: dict[str, list[float]] = {c.name: [] for c in cpus}
+        self._proc = None
+        self._last_snaps: Optional[list[CpuSnapshot]] = None
+
+    def start(self) -> None:
+        now = self.env.now
+        self._start_snaps = [c.accounting.snapshot(now) for c in self.cpus]
+        self._last_snaps = list(self._start_snaps)
+        self._proc = self.env.process(self._tick(), name="cpu-sampler")
+
+    def _tick(self) -> Generator[Any, Any, None]:
+        from ..sim import Interrupt
+
+        while True:
+            try:
+                yield self.env.timeout(self.period)
+            except Interrupt:
+                return
+            now = self.env.now
+            assert self._last_snaps is not None
+            snaps = [c.accounting.snapshot(now) for c in self.cpus]
+            for cpu, prev, cur in zip(self.cpus, self._last_snaps, snaps):
+                window = CpuWindow.between(cpu, prev, cur)
+                self.samples[cpu.name].append(window.utilization_pct)
+            self._last_snaps = snaps
+
+    def stop(self) -> list[CpuWindow]:
+        """Close the window; returns one :class:`CpuWindow` per CPU."""
+        if self._start_snaps is None:
+            raise RuntimeError("sampler never started")
+        now = self.env.now
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt()
+            self._proc = None
+        self._end_windows = [
+            CpuWindow.between(cpu, start, cpu.accounting.snapshot(now))
+            for cpu, start in zip(self.cpus, self._start_snaps)
+        ]
+        return self._end_windows

@@ -1,0 +1,243 @@
+"""RADOS bench: the paper's workload generator (§5.1).
+
+Write-only pattern: ``clients`` concurrent I/O contexts each keep one
+request outstanding, writing uniquely-named objects of ``object_size``
+bytes for ``duration`` seconds after a warm-up.  Latency is the
+end-to-end client-observed response time; IOPS is completed writes per
+second; both are also recorded as per-second series, matching RADOS
+bench's built-in instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..cluster.builder import BENCH_POOL, Cluster
+from ..core.proxy_objectstore import ProxyObjectStore, WriteBreakdown
+from ..util.stats import RunningStats, TimeSeries, percentile
+from .metrics import CpuSampler, CpuWindow
+
+__all__ = ["BenchResult", "run_rados_bench", "run_read_bench"]
+
+
+@dataclass
+class BenchResult:
+    """Everything one benchmark run produced."""
+
+    object_size: int
+    clients: int
+    duration: float
+    completed_ops: int
+    iops: float
+    throughput_bytes: float
+    latency: RunningStats
+    latencies: list[float]
+    per_second_ops: TimeSeries
+    per_second_latency: TimeSeries
+    #: One window per storage node, for the complex the Ceph daemons run
+    #: on (host in Baseline, DPU in DoCeph).
+    ceph_cpu: list[CpuWindow] = field(default_factory=list)
+    #: One window per storage node's *host* complex (Fig. 7's metric).
+    host_cpu: list[CpuWindow] = field(default_factory=list)
+    #: DoCeph only: per-write latency breakdowns (Table 3).
+    breakdowns: list[WriteBreakdown] = field(default_factory=list)
+
+    @property
+    def avg_latency(self) -> float:
+        return self.latency.mean
+
+    def latency_percentile(self, p: float) -> float:
+        return percentile(sorted(self.latencies), p)
+
+    @property
+    def host_utilization_pct(self) -> float:
+        """Average host CPU % across storage nodes (Fig. 7)."""
+        if not self.host_cpu:
+            return 0.0
+        return sum(w.utilization_pct for w in self.host_cpu) / len(self.host_cpu)
+
+    @property
+    def ceph_cpu_window(self) -> CpuWindow:
+        """Merged per-node window for the Ceph complexes (Fig. 5)."""
+        return CpuWindow.merge(self.ceph_cpu)
+
+
+def run_rados_bench(
+    cluster: Cluster,
+    object_size: int,
+    clients: int = 16,
+    duration: float = 30.0,
+    warmup: float = 3.0,
+    op: str = "write",
+) -> BenchResult:
+    """Boot the cluster (if needed) and run one bench configuration.
+
+    The simulation runs until every in-flight request issued inside the
+    measurement window completes, so latency tails are never truncated.
+    """
+    env = cluster.env
+    client = cluster.client
+    assert client is not None
+
+    if client.osdmap is None:
+        boot = env.process(cluster.boot(), name="cluster-boot")
+        env.run(until=boot)
+
+    # reset any breakdown history from earlier runs
+    for osd in cluster.osds:
+        if isinstance(osd.store, ProxyObjectStore):
+            osd.store.reset_breakdowns()
+
+    t_open = env.now + warmup
+    t_close = t_open + duration
+    latencies: list[float] = []
+    lat_stats = RunningStats()
+    per_second_ops = TimeSeries(interval=1.0)
+    per_second_lat = TimeSeries(interval=1.0)
+    completed = [0]
+
+    def io_context(idx: int) -> Generator[Any, Any, None]:
+        seq = 0
+        while env.now < t_close:
+            oid = f"bench_{idx}_{seq}"
+            seq += 1
+            issued = env.now
+            if op == "write":
+                result = yield from client.write_object(
+                    BENCH_POOL, oid, object_size
+                )
+            else:
+                raise ValueError(f"unknown op: {op}")
+            if issued >= t_open:
+                latencies.append(result.latency)
+                lat_stats.add(result.latency)
+                per_second_ops.add(env.now - t_open, 1.0)
+                per_second_lat.add(env.now - t_open, result.latency)
+                completed[0] += 1
+
+    sampler_hosts = CpuSampler(env, cluster.host_cpus())
+    sampler_ceph = CpuSampler(env, cluster.ceph_cpus())
+
+    def measured_run() -> Generator[Any, Any, None]:
+        yield env.timeout(t_open - env.now)
+        sampler_hosts.start()
+        sampler_ceph.start()
+
+    env.process(measured_run(), name="bench-window")
+    workers = [
+        env.process(io_context(i), name=f"bench-client-{i}")
+        for i in range(clients)
+    ]
+    for w in workers:
+        env.run(until=w)
+
+    host_windows = sampler_hosts.stop()
+    ceph_windows = sampler_ceph.stop()
+
+    breakdowns: list[WriteBreakdown] = []
+    for osd in cluster.osds:
+        if isinstance(osd.store, ProxyObjectStore):
+            breakdowns.extend(osd.store.breakdowns)
+
+    measured = max(env.now - t_open, 1e-9)
+    return BenchResult(
+        object_size=object_size,
+        clients=clients,
+        duration=duration,
+        completed_ops=completed[0],
+        iops=completed[0] / measured,
+        throughput_bytes=completed[0] * object_size / measured,
+        latency=lat_stats,
+        latencies=latencies,
+        per_second_ops=per_second_ops,
+        per_second_latency=per_second_lat,
+        ceph_cpu=ceph_windows,
+        host_cpu=host_windows,
+        breakdowns=breakdowns,
+    )
+
+
+def run_read_bench(
+    cluster: Cluster,
+    object_size: int,
+    clients: int = 16,
+    duration: float = 20.0,
+    warmup: float = 2.0,
+    prepopulate: int = 64,
+) -> BenchResult:
+    """Read benchmark (the §5.5 'future work' path, implemented):
+    prepopulates objects with writes, then measures a read-only phase."""
+    env = cluster.env
+    client = cluster.client
+    assert client is not None
+    if client.osdmap is None:
+        boot = env.process(cluster.boot(), name="cluster-boot")
+        env.run(until=boot)
+
+    def prep() -> Generator[Any, Any, None]:
+        for i in range(prepopulate):
+            yield from client.write_object(
+                BENCH_POOL, f"readbench_{i}", object_size
+            )
+
+    p = env.process(prep(), name="read-prepopulate")
+    env.run(until=p)
+
+    t_open = env.now + warmup
+    t_close = t_open + duration
+    latencies: list[float] = []
+    lat_stats = RunningStats()
+    per_second_ops = TimeSeries(interval=1.0)
+    per_second_lat = TimeSeries(interval=1.0)
+    completed = [0]
+
+    def io_context(idx: int) -> Generator[Any, Any, None]:
+        seq = idx
+        while env.now < t_close:
+            oid = f"readbench_{seq % prepopulate}"
+            seq += clients
+            issued = env.now
+            result = yield from client.read_object(
+                BENCH_POOL, oid, object_size
+            )
+            if issued >= t_open:
+                latencies.append(result.latency)
+                lat_stats.add(result.latency)
+                per_second_ops.add(env.now - t_open, 1.0)
+                per_second_lat.add(env.now - t_open, result.latency)
+                completed[0] += 1
+
+    sampler_hosts = CpuSampler(env, cluster.host_cpus())
+    sampler_ceph = CpuSampler(env, cluster.ceph_cpus())
+
+    def measured_run() -> Generator[Any, Any, None]:
+        yield env.timeout(t_open - env.now)
+        sampler_hosts.start()
+        sampler_ceph.start()
+
+    env.process(measured_run(), name="bench-window")
+    workers = [
+        env.process(io_context(i), name=f"read-client-{i}")
+        for i in range(clients)
+    ]
+    for w in workers:
+        env.run(until=w)
+
+    host_windows = sampler_hosts.stop()
+    ceph_windows = sampler_ceph.stop()
+    measured = max(env.now - t_open, 1e-9)
+    return BenchResult(
+        object_size=object_size,
+        clients=clients,
+        duration=duration,
+        completed_ops=completed[0],
+        iops=completed[0] / measured,
+        throughput_bytes=completed[0] * object_size / measured,
+        latency=lat_stats,
+        latencies=latencies,
+        per_second_ops=per_second_ops,
+        per_second_latency=per_second_lat,
+        ceph_cpu=ceph_windows,
+        host_cpu=host_windows,
+    )

@@ -1,0 +1,161 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro fig7                   # one experiment
+    python -m repro all                    # every table and figure
+    python -m repro bench --size 4M --clients 16 --mode doceph
+    python -m repro fig8 --duration 20     # longer, steadier runs
+
+Each experiment prints the paper-vs-measured table that the benchmark
+suite also asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .bench import (
+    experiment_fig5,
+    experiment_table2,
+    experiment_table3,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_table2,
+    render_table3,
+    run_comparison_sweep,
+    run_rados_bench,
+)
+from .cluster import build_baseline_cluster, build_doceph_cluster
+from .sim import Environment
+
+__all__ = ["main"]
+
+
+def _parse_size(text: str) -> int:
+    """'4M', '512K', '1048576' → bytes."""
+    text = text.strip().upper()
+    multiplier = 1
+    if text.endswith("K"):
+        multiplier, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        multiplier, text = 1 << 20, text[:-1]
+    elif text.endswith("G"):
+        multiplier, text = 1 << 30, text[:-1]
+    try:
+        return int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size: {text!r}") from None
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    return render_fig5(experiment_fig5(duration=args.duration))
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    return render_fig6(experiment_fig5(duration=args.duration))
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    return render_table2(experiment_table2(duration=args.duration))
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    return render_fig7(run_comparison_sweep(duration=args.duration))
+
+
+def _cmd_fig8(args: argparse.Namespace) -> str:
+    return render_fig8(run_comparison_sweep(duration=args.duration))
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    return render_table3(experiment_table3(duration=args.duration))
+
+
+def _cmd_fig9(args: argparse.Namespace) -> str:
+    return render_fig9(experiment_table3(duration=args.duration))
+
+
+def _cmd_fig10(args: argparse.Namespace) -> str:
+    return render_fig10(run_comparison_sweep(duration=args.duration))
+
+
+_EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "table2": _cmd_table2,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "table3": _cmd_table3,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+}
+
+
+def _cmd_all(args: argparse.Namespace) -> str:
+    return "\n\n".join(fn(args) for fn in _EXPERIMENTS.values())
+
+
+def _cmd_bench(args: argparse.Namespace) -> str:
+    builder = (build_doceph_cluster if args.mode == "doceph"
+               else build_baseline_cluster)
+    env = Environment()
+    cluster = builder(env)
+    result = run_rados_bench(
+        cluster, object_size=args.size, clients=args.clients,
+        duration=args.duration,
+    )
+    lines = [
+        f"mode={args.mode} size={args.size >> 20}MB clients={args.clients}"
+        f" duration={args.duration:.0f}s",
+        f"  iops:        {result.iops:.1f}",
+        f"  throughput:  {result.throughput_bytes / 1e6:.1f} MB/s",
+        f"  avg latency: {result.avg_latency * 1e3:.1f} ms"
+        f" (p99 {result.latency_percentile(99) * 1e3:.1f} ms)",
+        f"  host CPU:    {result.host_utilization_pct:.1f} %",
+    ]
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DoCeph reproduction: regenerate the paper's "
+                    "tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in list(_EXPERIMENTS) + ["all"]:
+        p = sub.add_parser(name, help=f"run {name}")
+        p.add_argument("--duration", type=float, default=8.0,
+                       help="measured simulated seconds per run")
+
+    bench = sub.add_parser("bench", help="one ad-hoc RADOS bench run")
+    bench.add_argument("--mode", choices=["baseline", "doceph"],
+                       default="doceph")
+    bench.add_argument("--size", type=_parse_size, default=4 << 20,
+                       help="object size (e.g. 4M, 512K)")
+    bench.add_argument("--clients", type=int, default=16)
+    bench.add_argument("--duration", type=float, default=8.0)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "all":
+        print(_cmd_all(args))
+    elif args.command == "bench":
+        print(_cmd_bench(args))
+    else:
+        print(_EXPERIMENTS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Cluster assembly and calibrated hardware profiles."""
+
+from .builder import (
+    BENCH_POOL,
+    Cluster,
+    build_baseline_cluster,
+    build_doceph_cluster,
+)
+from .config import DocephProfile, GIGABIT, HUNDRED_GIG, HardwareProfile
+
+__all__ = [
+    "BENCH_POOL",
+    "Cluster",
+    "DocephProfile",
+    "GIGABIT",
+    "HUNDRED_GIG",
+    "HardwareProfile",
+    "build_baseline_cluster",
+    "build_doceph_cluster",
+]

@@ -1,0 +1,302 @@
+"""Cluster assembly: Baseline (NIC-mode) and DoCeph (DPU-mode) testbeds.
+
+Mirrors the paper's three-node testbed (§5.1): one client node plus two
+storage nodes, 100 GbE (or 1 GbE) through one switch, one OSD per
+storage node, replication 2.
+
+* :func:`build_baseline_cluster` — the BlueField runs as a plain NIC;
+  MON, OSD, messenger, and BlueStore all burn host CPU.
+* :func:`build_doceph_cluster` — the BlueField runs in DPU mode; the
+  OSD (and its messenger) live on the DPU's ARM cores, the host keeps
+  only BlueStore plus the thin proxy server, and the two talk through
+  the RPC/DMA proxy channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..crush import CrushMap
+from ..hw.cpu import CpuComplex
+from ..hw.dma import DmaEngine
+from ..hw.net import Network, Nic
+from ..hw.node import ClusterNode, NetStack
+from ..hw.storage import SsdDevice
+from ..msgr.messenger import AsyncMessenger, MsgrDirectory
+from ..objectstore.bluestore import BlueStore
+from ..osd.daemon import OsdDaemon
+from ..rados.client import RadosClient
+from ..rados.monitor import Monitor
+from ..rados.osdmap import OsdMap
+from ..rados.types import Pool
+from ..sim import Environment
+from .config import DocephProfile, HardwareProfile
+
+__all__ = ["Cluster", "build_baseline_cluster", "build_doceph_cluster"]
+
+#: Benchmark pool name used throughout the experiments.
+BENCH_POOL = "bench"
+
+
+@dataclass
+class Cluster:
+    """A fully wired testbed ready for benchmarking."""
+
+    env: Environment
+    profile: HardwareProfile
+    network: Network
+    directory: MsgrDirectory
+    osdmap: OsdMap
+    nodes: list[ClusterNode] = field(default_factory=list)
+    osds: list[OsdDaemon] = field(default_factory=list)
+    stores: list[BlueStore] = field(default_factory=list)
+    mon: Optional[Monitor] = None
+    client: Optional[RadosClient] = None
+    client_cpu: Optional[CpuComplex] = None
+    mode: str = "baseline"
+    #: DoCeph only: per-node host proxy servers (RPC + DMA pollers).
+    proxy_servers: list[Any] = field(default_factory=list)
+
+    def boot(self) -> Generator[Any, Any, None]:
+        """Bring the cluster up: activate PGs, start heartbeats/beacons,
+        boot the client.  Run this before benchmarking."""
+        for osd in self.osds:
+            yield from osd.activate_pgs(BENCH_POOL)
+        addrs = {osd.osd_id: self.osdmap.address_of(osd.osd_id)
+                 for osd in self.osds}
+        for osd in self.osds:
+            peers = [a for oid, a in addrs.items() if oid != osd.osd_id]
+            osd.start_heartbeats(peers)
+            if self.mon is not None:
+                osd.start_mon_beacon(self.mon.address)
+            osd.enable_recovery([BENCH_POOL])
+            if self.profile.scrub_interval is not None:
+                osd.enable_scrub([BENCH_POOL],
+                                 interval=self.profile.scrub_interval)
+        if self.client is not None:
+            yield from self.client.boot()
+
+    def add_pool(
+        self, name: str, pg_num: int = 32, size: Optional[int] = None
+    ) -> Generator[Any, Any, Pool]:
+        """Create an additional pool at runtime and activate its PGs on
+        every OSD (run as a process: ``env.process(cluster.add_pool(...))``).
+
+        Returns the new :class:`~repro.rados.types.Pool`."""
+        pool_id = max(self.osdmap.pools) + 1
+        pool = Pool(id=pool_id, name=name, pg_num=pg_num,
+                    size=size or self.profile.replication)
+        self.osdmap.create_pool(pool)
+        for osd in self.osds:
+            yield from osd.activate_pgs(name)
+            if osd.recovery is not None:
+                osd.recovery.pool_names.append(name)
+            if osd.scrub is not None:
+                osd.scrub.pool_names.append(name)
+        return pool
+
+    # -- observability -----------------------------------------------------------
+    def host_cpus(self) -> list[CpuComplex]:
+        return [node.host_cpu for node in self.nodes]
+
+    def dpu_cpus(self) -> list[CpuComplex]:
+        return [node.dpu_cpu for node in self.nodes if node.dpu_cpu]
+
+    def ceph_cpus(self) -> list[CpuComplex]:
+        """The complexes running Ceph daemons (host in baseline, DPU in
+        DoCeph) — where Figure 5's breakdown is measured."""
+        if self.mode == "doceph":
+            return self.dpu_cpus()
+        return self.host_cpus()
+
+
+def _make_crush(n_nodes: int) -> CrushMap:
+    cmap = CrushMap()
+    cmap.add_bucket("default", "root")
+    for i in range(n_nodes):
+        host = f"host{i}"
+        cmap.add_bucket(host, "host")
+        cmap.add_device(host, i, weight=1.0)
+        cmap.link_bucket("default", host)
+    cmap.add_rule(CrushMap.replicated_rule())
+    return cmap
+
+
+def _make_osdmap(profile: HardwareProfile) -> OsdMap:
+    osdmap = OsdMap(crush=_make_crush(profile.storage_nodes))
+    osdmap.create_pool(
+        Pool(id=1, name=BENCH_POOL, pg_num=profile.pg_num,
+             size=profile.replication)
+    )
+    return osdmap
+
+
+def _attach_aux_endpoint(
+    env: Environment,
+    network: Network,
+    cpu: CpuComplex,
+    address: str,
+    profile: HardwareProfile,
+    bandwidth: float = 10e9,
+) -> NetStack:
+    """A light management endpoint (monitor port) sharing a node's CPU."""
+    nic = Nic(env, f"{address}.nic", bandwidth_bps=bandwidth)
+    network.attach(address, nic)
+    return NetStack(cpu=cpu, nic=nic, network=network, address=address,
+                    tcp=profile.tcp)
+
+
+def _build_client(
+    env: Environment,
+    network: Network,
+    directory: MsgrDirectory,
+    profile: HardwareProfile,
+    mon_addr: str,
+) -> tuple[RadosClient, CpuComplex]:
+    cpu = CpuComplex(env, "client.cpu", cores=profile.client_cores)
+    nic = Nic(env, "client.nic", bandwidth_bps=profile.net_bandwidth)
+    network.attach("client", nic)
+    stack = NetStack(cpu=cpu, nic=nic, network=network, address="client",
+                     tcp=profile.tcp)
+    messenger = AsyncMessenger(
+        stack, "client", directory, workers=profile.msgr_workers,
+        cost=profile.msgr_cost,
+    )
+    return RadosClient(messenger, mon_addr), cpu
+
+
+def build_baseline_cluster(
+    env: Environment, profile: Optional[HardwareProfile] = None
+) -> Cluster:
+    """The conventional deployment: full Ceph stack on host CPUs,
+    BlueField in NIC mode."""
+    profile = profile or HardwareProfile()
+    network = Network(env, latency_s=profile.net_latency)
+    directory = MsgrDirectory()
+    osdmap = _make_osdmap(profile)
+    cluster = Cluster(
+        env=env, profile=profile, network=network, directory=directory,
+        osdmap=osdmap, mode="baseline",
+    )
+
+    for i in range(profile.storage_nodes):
+        name = f"node{i}"
+        host_cpu = CpuComplex(env, f"{name}.host", cores=profile.host_cores,
+                              perf=profile.host_perf)
+        ssd = SsdDevice(
+            env, f"{name}.ssd",
+            write_bandwidth=profile.ssd_write_bandwidth,
+            read_bandwidth=profile.ssd_read_bandwidth,
+            write_latency=profile.ssd_write_latency,
+            read_latency=profile.ssd_read_latency,
+        )
+        node = ClusterNode(
+            env, network, name, host_cpu, ssd,
+            nic_bandwidth=profile.net_bandwidth, tcp=profile.tcp,
+        )
+        store = BlueStore(env, f"{name}.bluestore", host_cpu, ssd,
+                          profile.bluestore)
+        store.mkfs()
+        stack = node.host_stack()
+        messenger = AsyncMessenger(
+            stack, f"osd.{i}", directory, workers=profile.msgr_workers,
+            cost=profile.msgr_cost,
+        )
+        osd = OsdDaemon(i, messenger, store, osdmap, profile.osd)
+        osdmap.add_osd(i, address=name)
+
+        cluster.nodes.append(node)
+        cluster.stores.append(store)
+        cluster.osds.append(osd)
+
+    # Monitor: shares node0's host CPU, own management port.
+    mon_stack = _attach_aux_endpoint(
+        env, network, cluster.nodes[0].host_cpu, "mon0", profile
+    )
+    mon_msgr = AsyncMessenger(mon_stack, "mon.0", directory,
+                              workers=1, cost=profile.msgr_cost)
+    cluster.mon = Monitor(mon_msgr, osdmap)
+
+    cluster.client, cluster.client_cpu = _build_client(
+        env, network, directory, profile, "mon0"
+    )
+    return cluster
+
+
+def build_doceph_cluster(
+    env: Environment, profile: Optional[DocephProfile] = None
+) -> Cluster:
+    """The paper's architecture: OSD + messenger on the DPU, BlueStore
+    (plus the thin proxy server) on the host, RPC/DMA in between."""
+    from ..core.host_server import HostProxyServer
+    from ..core.proxy_objectstore import ProxyObjectStore
+
+    profile = profile or DocephProfile()
+    network = Network(env, latency_s=profile.net_latency)
+    directory = MsgrDirectory()
+    osdmap = _make_osdmap(profile)
+    cluster = Cluster(
+        env=env, profile=profile, network=network, directory=directory,
+        osdmap=osdmap, mode="doceph",
+    )
+
+    for i in range(profile.storage_nodes):
+        name = f"node{i}"
+        host_cpu = CpuComplex(env, f"{name}.host", cores=profile.host_cores,
+                              perf=profile.host_perf)
+        dpu_cpu = CpuComplex(env, f"{name}.dpu", cores=profile.dpu_cores,
+                             perf=profile.dpu_perf)
+        ssd = SsdDevice(
+            env, f"{name}.ssd",
+            write_bandwidth=profile.ssd_write_bandwidth,
+            read_bandwidth=profile.ssd_read_bandwidth,
+            write_latency=profile.ssd_write_latency,
+            read_latency=profile.ssd_read_latency,
+        )
+        dma = DmaEngine(
+            env, f"{name}.dma",
+            bandwidth=profile.dma_bandwidth,
+            setup_latency=profile.dma_setup_latency,
+            channels=profile.dma_channels,
+            max_transfer=profile.dma_max_transfer,
+        )
+        node = ClusterNode(
+            env, network, name, host_cpu, ssd,
+            nic_bandwidth=profile.net_bandwidth, tcp=profile.tcp,
+            dpu_cpu=dpu_cpu, dma=dma,
+            pcie_rpc_latency=profile.pcie_rpc_latency,
+        )
+        store = BlueStore(env, f"{name}.bluestore", host_cpu, ssd,
+                          profile.bluestore)
+        store.mkfs()
+
+        server = HostProxyServer(node, store, profile)
+        proxy = ProxyObjectStore(node, server, profile)
+
+        stack = node.dpu_stack()  # ← the paper's architectural move
+        messenger = AsyncMessenger(
+            stack, f"osd.{i}", directory, workers=profile.msgr_workers,
+            cost=profile.msgr_cost,
+        )
+        osd = OsdDaemon(i, messenger, proxy, osdmap, profile.osd)
+        osdmap.add_osd(i, address=name)
+
+        cluster.nodes.append(node)
+        cluster.stores.append(store)
+        cluster.osds.append(osd)
+        cluster.proxy_servers.append(server)
+
+    # Monitor lives on the DPU too ("the Ceph cluster is instantiated on
+    # the DPU", §5.1).
+    mon_stack = _attach_aux_endpoint(
+        env, network, cluster.nodes[0].dpu_cpu, "mon0", profile
+    )
+    mon_msgr = AsyncMessenger(mon_stack, "mon.0", directory,
+                              workers=1, cost=profile.msgr_cost)
+    cluster.mon = Monitor(mon_msgr, osdmap)
+
+    cluster.client, cluster.client_cpu = _build_client(
+        env, network, directory, profile, "mon0"
+    )
+    return cluster

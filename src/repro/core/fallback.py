@@ -1,0 +1,78 @@
+"""Adaptive fallback and cooldown (§4, robustness).
+
+On a DMA failure the proxy immediately reroutes the failed segment —
+and everything that follows — through the socket RPC path, preserving
+already-completed segments.  An atomic cooldown flag plus expiration
+timestamp keeps *all* traffic on the RPC path for a fixed window; after
+expiry the next request first issues a small **probe** transfer, and
+only a successful probe re-arms the DMA path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FallbackController", "PROBE_BYTES"]
+
+#: Size of the test transfer used to re-validate the DMA path.
+PROBE_BYTES = 4096
+
+
+class FallbackController:
+    """Cooldown state machine shared by all requests on one node."""
+
+    def __init__(self, cooldown_seconds: float, enabled: bool = True) -> None:
+        self.cooldown_seconds = cooldown_seconds
+        self.enabled = enabled
+        self._cooldown_until = -float("inf")
+        self._needs_probe = False
+
+        # statistics
+        self.failures = 0
+        self.fallback_segments = 0
+        self.probes_attempted = 0
+        self.probes_succeeded = 0
+
+    # -- state queries -----------------------------------------------------------
+    def dma_allowed(self, now: float) -> bool:
+        """May a normal segment use DMA right now?"""
+        if not self.enabled:
+            return True  # fallback machinery disabled: always try DMA
+        return now >= self._cooldown_until and not self._needs_probe
+
+    def in_cooldown(self, now: float) -> bool:
+        return self.enabled and now < self._cooldown_until
+
+    def probe_due(self, now: float) -> bool:
+        """Cooldown expired but DMA not yet revalidated."""
+        return (
+            self.enabled
+            and self._needs_probe
+            and now >= self._cooldown_until
+        )
+
+    # -- transitions -----------------------------------------------------------
+    def record_failure(self, now: float) -> None:
+        """A DMA transfer failed: start (or restart) the cooldown."""
+        self.failures += 1
+        if self.enabled:
+            self._cooldown_until = now + self.cooldown_seconds
+            self._needs_probe = True
+
+    def record_fallback_segment(self) -> None:
+        self.fallback_segments += 1
+
+    def record_probe(self, success: bool, now: float) -> None:
+        """Outcome of a test transfer after cooldown expiry."""
+        self.probes_attempted += 1
+        if success:
+            self.probes_succeeded += 1
+            self._needs_probe = False
+        else:
+            # still broken: back to cooldown
+            self._cooldown_until = now + self.cooldown_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"<FallbackController failures={self.failures}"
+            f" fallback_segments={self.fallback_segments}"
+            f" probes={self.probes_succeeded}/{self.probes_attempted}>"
+        )

@@ -1,0 +1,267 @@
+"""ProxyObjectStore: the DPU-side transparent ObjectStore (§3.1–§3.3).
+
+Implements the standard :class:`~repro.objectstore.api.ObjectStore`
+interface, so the unmodified OSD plugs into it exactly as it would into
+BlueStore — and forwards every call to the host:
+
+* **binary op classification** (§3.2): data-plane operations
+  (``queue_transaction`` with payload, ``read``) go through DOCA DMA;
+  control-plane operations (``stat``, ``exists``, ``getattr``,
+  ``list_objects``, data-less transactions) go over the lightweight RPC
+  socket;
+* write data is staged in DPU memory and pushed through the
+  **pipelined, segmented DMA** path; the commit RPC is sent once the
+  full request has landed in the host's write buffers, and the client
+  ack only fires after host BlueStore commits — preserving Ceph's
+  write-through semantics;
+* per-request latency breakdowns (Table 3's Host-write / DMA /
+  DMA-wait / Others) are recorded on every write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ..hw.cpu import SimThread
+from ..hw.node import ClusterNode
+from ..objectstore.api import (
+    NoSuchObject,
+    ObjectStore,
+    StatResult,
+    StoreError,
+    Transaction,
+)
+from ..util.bufferlist import BufferList, DataBlob
+from ..util.rng import SeededRng
+from .doca import DocaDma
+from .fallback import FallbackController
+from .host_server import HostProxyServer
+from .pipeline import DmaPipeline, RequestTiming
+from .rpc import PROXY_CATEGORY, RpcError
+
+__all__ = ["ProxyObjectStore", "WriteBreakdown"]
+
+#: DPU-side thread category for proxy work.
+DPU_PROXY_CATEGORY = "proxy"
+
+
+def _store_error(exc: RpcError) -> StoreError:
+    """Map a host-side failure back to the ObjectStore exception type."""
+    text = str(exc)
+    if "NoSuchObject" in text or "ENOENT" in text:
+        return NoSuchObject(text)
+    return StoreError(text)
+
+
+@dataclass
+class WriteBreakdown:
+    """Table 3's per-write latency decomposition."""
+
+    size: int
+    total: float
+    host_write: float
+    dma: float
+    dma_wait: float
+    stage: float
+    fallback_bytes: int = 0
+
+    @property
+    def others(self) -> float:
+        """Everything not attributed: DPU OSD processing, messenger
+        activity, replication coordination, serialization, ACK waits."""
+        return max(0.0, self.total - self.host_write - self.dma - self.dma_wait)
+
+
+class ProxyObjectStore(ObjectStore):
+    """The DPU's ObjectStore: a forwarder, not a store."""
+
+    SERIALIZE_CPU = 4.0e-6
+    """Cost of serializing one transaction's metadata on the DPU."""
+
+    def __init__(
+        self,
+        node: ClusterNode,
+        server: HostProxyServer,
+        profile: Any,
+        seed: int = 0,
+    ) -> None:
+        if node.dpu_cpu is None:
+            raise ValueError("ProxyObjectStore requires a DPU-mode node")
+        self.node = node
+        self.server = server
+        self.profile = profile
+        self.env = node.env
+        self.rpc = server.rpc
+
+        self.doca = DocaDma(
+            node, server.comm,
+            mr_cache_enabled=getattr(profile, "mr_cache", True),
+        )
+        self.fallback = FallbackController(
+            cooldown_seconds=getattr(profile, "cooldown_seconds", 2.0),
+            enabled=getattr(profile, "fallback_enabled", True),
+        )
+
+        self._stage_thread = SimThread(
+            node.dpu_cpu, f"{node.name}.proxy-stage", DPU_PROXY_CATEGORY
+        )
+        pipelined = getattr(profile, "pipelining", True)
+        self.write_pipeline = DmaPipeline(
+            self.env,
+            self.doca,
+            self.rpc,
+            self.fallback,
+            stage_thread=self._stage_thread,
+            memcpy_bandwidth=profile.dpu_memcpy_bandwidth,
+            segment_bytes=profile.dma_max_transfer,
+            n_buffers=profile.staging_buffers,
+            pipelined=pipelined,
+            completion_thread=server.poll_thread,
+            region_side="dpu",
+        )
+        # Reverse direction (read returns): staging buffers on the host
+        # side, staged by host CPU at host memcpy rates (§3.3 symmetry).
+        self.read_pipeline = DmaPipeline(
+            self.env,
+            self.doca,
+            self.rpc,
+            self.fallback,
+            stage_thread=server.poll_thread,
+            memcpy_bandwidth=12.0e9,
+            segment_bytes=profile.dma_max_transfer,
+            n_buffers=profile.staging_buffers,
+            pipelined=pipelined,
+            completion_thread=self._stage_thread,
+            region_side="host",
+        )
+        server.read_pipeline = self.read_pipeline
+
+        fault_rate = getattr(profile, "dma_fault_rate", 0.0)
+        if fault_rate > 0 and node.dma is not None:
+            rng = SeededRng(seed).child(node.name).stream("dma-faults")
+            node.dma.fault_hook = lambda n: rng.random() < fault_rate
+
+        #: Per-write breakdown records (cleared by the bench harness).
+        self.breakdowns: list[WriteBreakdown] = []
+
+        # statistics
+        self.data_ops = 0
+        self.control_ops = 0
+
+    # ---------------------------------------------------------------- data plane
+    def queue_transaction(
+        self, txn: Transaction, thread: SimThread
+    ) -> Generator[Any, Any, None]:
+        """Forward a transaction: bulk via DMA, commit via RPC."""
+        data_len = txn.data_len
+        payload = txn.encode()
+        yield from thread.charge(self.SERIALIZE_CPU * max(1, txn.num_ops))
+
+        if data_len == 0:
+            # §3.2: metadata-only transactions are control plane.
+            self.control_ops += 1
+            try:
+                yield from self.rpc.call("queue_txn", payload, thread)
+            except RpcError as exc:
+                raise _store_error(exc) from None
+            return
+
+        if data_len > self.server.write_buffers.capacity:
+            raise StoreError(
+                f"request of {data_len} B exceeds the host write-buffer "
+                f"pool ({self.server.write_buffers.capacity} B)"
+            )
+        self.data_ops += 1
+        t0 = self.env.now
+        # Reserve host-side write-buffer space (Fig. 4 backpressure) …
+        yield self.server.write_buffers.get(data_len)
+        # … stream the payload across …
+        timing: RequestTiming = yield from self.write_pipeline.push(
+            data_len, thread
+        )
+        # … then commit on the host and wait for durability.
+        try:
+            resp = yield from self.rpc.call("queue_txn", payload, thread)
+        except RpcError as exc:
+            raise _store_error(exc) from None
+        host_write = (resp.reply or {}).get("host_write", 0.0)
+        self.breakdowns.append(
+            WriteBreakdown(
+                size=data_len,
+                total=self.env.now - t0,
+                host_write=host_write,
+                dma=timing.dma_time,
+                dma_wait=timing.dma_wait,
+                stage=timing.stage_time,
+                fallback_bytes=timing.fallback_bytes,
+            )
+        )
+
+    def read(
+        self, coll: str, oid: str, offset: int, length: int, thread: SimThread
+    ) -> Generator[Any, Any, DataBlob]:
+        """Read via the host: request over RPC, data back via DMA."""
+        bl = BufferList()
+        bl.encode_str(coll)
+        bl.encode_str(oid)
+        bl.encode_u64(offset)
+        bl.encode_u64(length)
+        self.data_ops += 1
+        try:
+            resp = yield from self.rpc.call("read", bl, thread)
+        except RpcError as exc:
+            if "ENOENT" in str(exc):
+                raise NoSuchObject(f"{coll}/{oid}") from None
+            raise StoreError(str(exc)) from None
+        return DataBlob((resp.reply or {}).get("length", 0))
+
+    # ---------------------------------------------------------------- control plane
+    def stat(
+        self, coll: str, oid: str, thread: SimThread
+    ) -> Generator[Any, Any, StatResult]:
+        reply = yield from self._control("stat", [coll, oid], thread)
+        return StatResult(
+            size=reply["size"], attrs=reply["attrs"], version=reply["version"]
+        )
+
+    def exists(
+        self, coll: str, oid: str, thread: SimThread
+    ) -> Generator[Any, Any, bool]:
+        reply = yield from self._control("exists", [coll, oid], thread)
+        return reply["exists"]
+
+    def getattr(
+        self, coll: str, oid: str, key: str, thread: SimThread
+    ) -> Generator[Any, Any, bytes]:
+        reply = yield from self._control("getattr", [coll, oid, key], thread)
+        return reply["value"]
+
+    def list_objects(
+        self, coll: str, thread: SimThread
+    ) -> Generator[Any, Any, list[str]]:
+        reply = yield from self._control("list", [coll], thread)
+        return reply["names"]
+
+    def _control(
+        self, op: str, args: list[str], thread: SimThread
+    ) -> Generator[Any, Any, dict]:
+        bl = BufferList()
+        for arg in args:
+            bl.encode_str(arg)
+        self.control_ops += 1
+        try:
+            resp = yield from self.rpc.call(op, bl, thread)
+        except RpcError as exc:
+            raise _store_error(exc) from None
+        return resp.reply
+
+    # ---------------------------------------------------------------- metrics
+    def reset_breakdowns(self) -> None:
+        self.breakdowns.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProxyObjectStore {self.node.name} data={self.data_ops}"
+            f" control={self.control_ops}>"
+        )

@@ -1,0 +1,31 @@
+"""Hardware models: CPUs with accounting, network fabric, kernel TCP/IP
+cost model, DPU↔host DMA engine, and SSDs.
+
+Every component in this package charges costs to the shared simulation
+clock and per-category accounting ledgers; nothing here knows about Ceph
+or DoCeph.
+"""
+
+from .cpu import CpuAccounting, CpuComplex, CpuSnapshot, SimThread
+from .dma import DmaEngine, DmaError, MAX_DMA_TRANSFER
+from .net import BandwidthPipe, Network, Nic
+from .node import ClusterNode, NetStack
+from .storage import SsdDevice
+from .tcp import TcpStackModel
+
+__all__ = [
+    "BandwidthPipe",
+    "ClusterNode",
+    "CpuAccounting",
+    "CpuComplex",
+    "CpuSnapshot",
+    "DmaEngine",
+    "DmaError",
+    "MAX_DMA_TRANSFER",
+    "NetStack",
+    "Network",
+    "Nic",
+    "SimThread",
+    "SsdDevice",
+    "TcpStackModel",
+]

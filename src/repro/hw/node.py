@@ -1,0 +1,127 @@
+"""Node composition: hosts, DPU SoCs, and their attachment to the fabric.
+
+A :class:`NetStack` bundles what a messenger needs to exist somewhere:
+a CPU complex to burn cycles on, a NIC on the network, an address, and a
+TCP cost model.  Moving the messenger from the host stack to the DPU
+stack — the paper's core move — is then just a matter of which stack the
+OSD's messenger is constructed on.
+
+:class:`ClusterNode` composes one storage server of the testbed:
+
+* ``host`` CPU complex + SSD (always present),
+* optionally a ``dpu`` CPU complex (BlueField-3 ARM cores) with its own
+  OS/TCP stack,
+* a :class:`~repro.hw.dma.DmaEngine` bridging DPU and host memory, and
+* a PCIe RPC transport (latency for the control-plane socket that the
+  ProxyObjectStore uses — in DPU mode this socket crosses PCIe, not the
+  outside wire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Environment
+from .cpu import CpuComplex
+from .dma import DmaEngine
+from .net import Network, Nic
+from .storage import SsdDevice
+from .tcp import TcpStackModel
+
+__all__ = ["NetStack", "ClusterNode"]
+
+
+@dataclass
+class NetStack:
+    """Everything a network endpoint needs: CPU, NIC, address, TCP costs."""
+
+    cpu: CpuComplex
+    nic: Nic
+    network: Network
+    address: str
+    tcp: TcpStackModel
+
+    @property
+    def env(self) -> Environment:
+        return self.cpu.env
+
+
+class ClusterNode:
+    """One storage server: host complex, optional DPU SoC, DMA bridge.
+
+    Parameters
+    ----------
+    env, network:
+        Shared simulation environment and fabric.
+    name:
+        Node name; also its network address prefix.
+    host_cpu / dpu_cpu:
+        CPU complexes.  ``dpu_cpu`` is ``None`` for a baseline (NIC-mode)
+        node, where the BlueField runs as a plain ConnectX-7.
+    ssd:
+        The node's data device (BlueStore sits on this).
+    nic_bandwidth:
+        External link speed in bits/s (shared between modes; in DPU mode
+        the port belongs to the DPU's stack).
+    dma:
+        DMA engine; only meaningful when a DPU complex exists.
+    tcp:
+        TCP stack cost model for whichever complex terminates TCP.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        name: str,
+        host_cpu: CpuComplex,
+        ssd: SsdDevice,
+        nic_bandwidth: float,
+        tcp: TcpStackModel,
+        dpu_cpu: Optional[CpuComplex] = None,
+        dma: Optional[DmaEngine] = None,
+        pcie_rpc_latency: float = 8e-6,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.name = name
+        self.host_cpu = host_cpu
+        self.ssd = ssd
+        self.dpu_cpu = dpu_cpu
+        self.dma = dma
+        self.pcie_rpc_latency = pcie_rpc_latency
+
+        self.nic = Nic(env, f"{name}.nic", nic_bandwidth)
+        network.attach(name, self.nic)
+        self._tcp = tcp
+
+    @property
+    def has_dpu(self) -> bool:
+        return self.dpu_cpu is not None
+
+    def host_stack(self) -> NetStack:
+        """The stack a baseline (NIC-mode) messenger runs on."""
+        return NetStack(
+            cpu=self.host_cpu,
+            nic=self.nic,
+            network=self.network,
+            address=self.name,
+            tcp=self._tcp,
+        )
+
+    def dpu_stack(self) -> NetStack:
+        """The stack a DPU-mode messenger runs on (paper's Figure 3)."""
+        if self.dpu_cpu is None:
+            raise ValueError(f"node {self.name} has no DPU")
+        return NetStack(
+            cpu=self.dpu_cpu,
+            nic=self.nic,
+            network=self.network,
+            address=self.name,
+            tcp=self._tcp,
+        )
+
+    def __repr__(self) -> str:
+        mode = "DPU" if self.has_dpu else "NIC"
+        return f"<ClusterNode {self.name} mode={mode}>"

@@ -1,0 +1,103 @@
+"""Kernel TCP/IP stack cost model.
+
+Section 2.3 of the paper attributes the messenger's CPU dominance to
+"network stack traversal, data serialization, TCP/IP transmission,
+compression, checksumming and encryption … executed by the host CPU" and
+to the context switches those syscalls cause.  This module turns a byte
+count into (a) CPU seconds charged to the calling thread and (b) a
+context-switch count, per direction.
+
+The constants are calibrated (see ``repro.cluster.config``) so the
+emergent measurements reproduce the paper's shape:
+
+* messenger ≈ 80 % of Ceph CPU at both 1 Gbps and 100 Gbps (Fig. 5),
+* messenger : ObjectStore context switches ≈ 10 : 1 (Table 2).
+
+The model:
+
+* each syscall moves at most ``syscall_bytes``; costs ``syscall_cpu``
+  plus a user↔kernel copy at ``copy_bandwidth`` bytes/s;
+* each wire segment of ``segment_bytes`` (GSO-sized) costs
+  ``segment_cpu`` for protocol processing and checksumming;
+* receive adds ``softirq_cpu`` per segment (softirq + skb handling) and
+  is therefore more expensive per byte than send — matching perf
+  profiles of real Ceph, where the read path dominates;
+* each syscall on the send side and each epoll wakeup on the receive
+  side contributes context switches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TcpStackModel"]
+
+
+@dataclass(frozen=True)
+class TcpStackModel:
+    """Cost constants for one kernel TCP/IP stack traversal.
+
+    All CPU figures are reference-CPU seconds (scaled by the executing
+    core's perf factor at charge time).
+    """
+
+    syscall_cpu: float = 4.0e-6
+    """Fixed cost per send/recv syscall (mode switch, socket locking)."""
+
+    syscall_bytes: int = 131_072
+    """Max bytes moved per syscall (Ceph issues large sendmsg calls)."""
+
+    copy_bandwidth: float = 9.0e9
+    """User↔kernel copy throughput, bytes/s (one memcpy per direction)."""
+
+    segment_bytes: int = 65_536
+    """GSO segment size; per-segment costs scale with count of these."""
+
+    segment_cpu: float = 1.2e-6
+    """Per-segment protocol processing + checksum cost (send side)."""
+
+    softirq_cpu: float = 1.6e-6
+    """Extra per-segment receive cost (softirq, skb alloc, coalescing)."""
+
+    wakeup_cpu: float = 3.0e-6
+    """Cost of an epoll wakeup delivering readiness to a worker."""
+
+    ctx_per_syscall: int = 1
+    """Context switches recorded per blocking syscall."""
+
+    ctx_per_wakeup: int = 1
+    """Context switches recorded per epoll wakeup on the receive side."""
+
+    def _nsyscalls(self, nbytes: int) -> int:
+        return max(1, math.ceil(nbytes / self.syscall_bytes))
+
+    def _nsegments(self, nbytes: int) -> int:
+        return max(1, math.ceil(nbytes / self.segment_bytes))
+
+    # -- CPU ------------------------------------------------------------------
+    def send_cpu(self, nbytes: int) -> float:
+        """CPU seconds to push ``nbytes`` through the send path."""
+        return (
+            self._nsyscalls(nbytes) * self.syscall_cpu
+            + nbytes / self.copy_bandwidth
+            + self._nsegments(nbytes) * self.segment_cpu
+        )
+
+    def recv_cpu(self, nbytes: int) -> float:
+        """CPU seconds to pull ``nbytes`` through the receive path."""
+        return (
+            self.wakeup_cpu
+            + self._nsyscalls(nbytes) * self.syscall_cpu
+            + nbytes / self.copy_bandwidth
+            + self._nsegments(nbytes) * (self.segment_cpu + self.softirq_cpu)
+        )
+
+    # -- context switches ----------------------------------------------------------
+    def send_ctx(self, nbytes: int) -> int:
+        """Context switches on the send path."""
+        return self._nsyscalls(nbytes) * self.ctx_per_syscall
+
+    def recv_ctx(self, nbytes: int) -> int:
+        """Context switches on the receive path (wakeup + syscalls)."""
+        return self.ctx_per_wakeup + self._nsyscalls(nbytes) * self.ctx_per_syscall

@@ -1,0 +1,79 @@
+"""OSD heartbeat traffic.
+
+Ceph OSDs ping their peers at regular intervals; the paper calls out
+heartbeats as part of the messenger's steady CPU load.  The
+:class:`HeartbeatAgent` generates that background traffic: it pings each
+peer every ``interval`` seconds (with deterministic per-peer phase
+offsets so beats don't synchronize) and tracks last-seen times, which
+the monitor's failure detector consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from .message import MOSDPing
+from .messenger import AsyncMessenger
+
+__all__ = ["HeartbeatAgent"]
+
+
+class HeartbeatAgent:
+    """Periodic pinger + last-seen tracker for one daemon."""
+
+    def __init__(
+        self,
+        messenger: AsyncMessenger,
+        peer_addrs: Iterable[str],
+        interval: float = 1.0,
+        grace: float = 4.0,
+    ) -> None:
+        self.messenger = messenger
+        self.peer_addrs = list(peer_addrs)
+        self.interval = interval
+        self.grace = grace
+        self.last_seen: dict[str, float] = {}
+        self._tid = 0
+        self._procs = [
+            messenger.env.process(
+                self._beat(addr, phase=0.1 * i / max(1, len(self.peer_addrs))),
+                name=f"hb:{messenger.name}->{addr}",
+            )
+            for i, addr in enumerate(self.peer_addrs)
+        ]
+
+    def _beat(self, addr: str, phase: float) -> Generator[Any, Any, None]:
+        env = self.messenger.env
+        if phase > 0:
+            yield env.timeout(phase * self.interval)
+        while True:
+            self._tid += 1
+            self.messenger.send_message(
+                MOSDPing(tid=self._tid, stamp=env.now), addr
+            )
+            yield env.timeout(self.interval)
+
+    # -- called by the owner's dispatcher ---------------------------------
+    def handle_ping(self, msg: MOSDPing) -> MOSDPing | None:
+        """Process an incoming ping; returns the reply to send (or
+        ``None`` if the ping was itself a reply)."""
+        self.last_seen[msg.src] = self.messenger.env.now
+        if msg.is_reply:
+            return None
+        return MOSDPing(tid=msg.tid, is_reply=True, stamp=msg.stamp)
+
+    def healthy_peers(self, now: float) -> list[str]:
+        """Peers heard from within the grace window."""
+        return [
+            addr
+            for addr in self.peer_addrs
+            if now - self.last_seen.get(addr, -float("inf")) <= self.grace
+        ]
+
+    def stale_peers(self, now: float) -> list[str]:
+        """Peers silent for longer than the grace window."""
+        return [
+            addr
+            for addr in self.peer_addrs
+            if now - self.last_seen.get(addr, -float("inf")) > self.grace
+        ]

@@ -1,0 +1,517 @@
+"""Wire messages: Ceph-style typed messages with real encode/decode.
+
+Every message renders to a :class:`~repro.util.bufferlist.BufferList`
+(fixed header, type-specific front section, optional bulk-data blob) and
+decodes back.  The messenger encodes on send and decodes on receive, so
+sizes on the wire — and the CPU charged per byte — come from the actual
+serialization, not estimates.  Bulk payloads ride as virtual
+:class:`~repro.util.bufferlist.DataBlob` extents.
+
+``attachment`` is the one model-level escape hatch: cluster-map
+distribution attaches the live OSDMap object by reference (serializing a
+whole map faithfully is out of scope and irrelevant to the phenomena
+under study; its wire *size* is still modelled via ``map_bytes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, ClassVar, Optional, Type
+
+from ..util.bufferlist import BufferDecoder, BufferList, DataBlob, EncodeError
+
+__all__ = [
+    "MessageType",
+    "Message",
+    "MOSDOp",
+    "MOSDOpReply",
+    "MOSDRepOp",
+    "MOSDRepOpReply",
+    "MOSDPing",
+    "MOSDBeacon",
+    "MOSDPGPull",
+    "MOSDPGPush",
+    "MOSDPGPushReply",
+    "MScrubDigest",
+    "MScrubReply",
+    "MMonGetMap",
+    "MMonMapReply",
+    "OpType",
+    "decode_message",
+    "WIRE_OVERHEAD",
+]
+
+#: Per-message on-wire overhead outside the bufferlist: banner/crc
+#: trailers etc. (bytes).
+WIRE_OVERHEAD = 33
+
+
+class MessageType(IntEnum):
+    """Message type tags (values mirror the spirit of Ceph's MSG_*)."""
+
+    PING = 2
+    MON_GET_MAP = 5
+    MON_MAP_REPLY = 6
+    OSD_BEACON = 24
+    OSD_OP = 42
+    OSD_OP_REPLY = 43
+    OSD_REPOP = 112
+    OSD_REPOP_REPLY = 113
+    PG_PULL = 105
+    PG_PUSH = 106
+    PG_PUSH_REPLY = 107
+    SCRUB_DIGEST = 108
+    SCRUB_REPLY = 109
+
+
+class OpType(IntEnum):
+    """Client operation codes carried by MOSDOp."""
+
+    WRITE = 1
+    READ = 2
+    STAT = 3
+    DELETE = 4
+
+
+_REGISTRY: dict[int, Type["Message"]] = {}
+
+
+def _register(cls: Type["Message"]) -> Type["Message"]:
+    _REGISTRY[int(cls.TYPE)] = cls
+    return cls
+
+
+@dataclass
+class Message:
+    """Base message: header fields common to every type."""
+
+    TYPE: ClassVar[MessageType]
+
+    src: str = ""
+    tid: int = 0
+    #: Model-level object reference riding alongside the wire bytes
+    #: (used only for cluster-map distribution).
+    attachment: Any = field(default=None, compare=False, repr=False)
+
+    # -- encoding ---------------------------------------------------------------
+    def encode(self) -> BufferList:
+        """Full wire form: header + front + (optional) data blob."""
+        bl = BufferList()
+        bl.encode_u16(int(self.TYPE))
+        bl.encode_u64(self.tid)
+        bl.encode_str(self.src)
+        self._encode_front(bl)
+        self._encode_data(bl)
+        return bl
+
+    def _encode_front(self, bl: BufferList) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _encode_data(self, bl: BufferList) -> None:
+        """Override to append bulk-data blobs after the front section."""
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "Message":
+        raise NotImplementedError  # pragma: no cover
+
+    def wire_size(self) -> int:
+        """Total bytes this message occupies on the wire."""
+        return len(self.encode()) + WIRE_OVERHEAD
+
+    @property
+    def data_len(self) -> int:
+        """Bulk payload bytes (0 for control messages)."""
+        return 0
+
+
+def decode_message(bl: BufferList, attachment: Any = None) -> Message:
+    """Decode a wire bufferlist back into a typed message."""
+    d = bl.decoder()
+    mtype = d.decode_u16()
+    tid = d.decode_u64()
+    src = d.decode_str()
+    cls = _REGISTRY.get(mtype)
+    if cls is None:
+        raise EncodeError(f"unknown message type {mtype}")
+    msg = cls._decode_front(d, src, tid)
+    msg.attachment = attachment
+    return msg
+
+
+@_register
+@dataclass
+class MOSDOp(Message):
+    """A client operation on an object (the paper's workload unit)."""
+
+    TYPE: ClassVar[MessageType] = MessageType.OSD_OP
+
+    pool: str = ""
+    object_name: str = ""
+    op: OpType = OpType.WRITE
+    length: int = 0
+    offset: int = 0
+    data: Optional[DataBlob] = None
+    map_epoch: int = 0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_str(self.pool)
+        bl.encode_str(self.object_name)
+        bl.encode_u8(int(self.op))
+        bl.encode_u64(self.length)
+        bl.encode_u64(self.offset)
+        bl.encode_u32(self.map_epoch)
+        bl.encode_bool(self.data is not None)
+
+    def _encode_data(self, bl: BufferList) -> None:
+        if self.data is not None:
+            bl.append_blob(self.data)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDOp":
+        pool = d.decode_str()
+        object_name = d.decode_str()
+        op = OpType(d.decode_u8())
+        length = d.decode_u64()
+        offset = d.decode_u64()
+        epoch = d.decode_u32()
+        has_data = d.decode_bool()
+        data = d.decode_blob() if has_data else None
+        return cls(
+            src=src, tid=tid, pool=pool, object_name=object_name, op=op,
+            length=length, offset=offset, data=data, map_epoch=epoch,
+        )
+
+    @property
+    def data_len(self) -> int:
+        return self.data.length if self.data is not None else 0
+
+
+@_register
+@dataclass
+class MOSDOpReply(Message):
+    """Reply to a client op; carries read data for READ ops."""
+
+    TYPE: ClassVar[MessageType] = MessageType.OSD_OP_REPLY
+
+    result: int = 0
+    version: int = 0
+    data: Optional[DataBlob] = None
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_s64(self.result)
+        bl.encode_u64(self.version)
+        bl.encode_bool(self.data is not None)
+
+    def _encode_data(self, bl: BufferList) -> None:
+        if self.data is not None:
+            bl.append_blob(self.data)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDOpReply":
+        result = d.decode_s64()
+        version = d.decode_u64()
+        has_data = d.decode_bool()
+        data = d.decode_blob() if has_data else None
+        return cls(src=src, tid=tid, result=result, version=version, data=data)
+
+    @property
+    def data_len(self) -> int:
+        return self.data.length if self.data is not None else 0
+
+
+@_register
+@dataclass
+class MOSDRepOp(Message):
+    """Primary → replica: apply this write transaction."""
+
+    TYPE: ClassVar[MessageType] = MessageType.OSD_REPOP
+
+    pool: str = ""
+    pg_seed: int = 0
+    object_name: str = ""
+    length: int = 0
+    offset: int = 0
+    data: Optional[DataBlob] = None
+    map_epoch: int = 0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_str(self.pool)
+        bl.encode_u32(self.pg_seed)
+        bl.encode_str(self.object_name)
+        bl.encode_u64(self.length)
+        bl.encode_u64(self.offset)
+        bl.encode_u32(self.map_epoch)
+        bl.encode_bool(self.data is not None)
+
+    def _encode_data(self, bl: BufferList) -> None:
+        if self.data is not None:
+            bl.append_blob(self.data)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDRepOp":
+        pool = d.decode_str()
+        pg_seed = d.decode_u32()
+        object_name = d.decode_str()
+        length = d.decode_u64()
+        offset = d.decode_u64()
+        epoch = d.decode_u32()
+        has_data = d.decode_bool()
+        data = d.decode_blob() if has_data else None
+        return cls(
+            src=src, tid=tid, pool=pool, pg_seed=pg_seed,
+            object_name=object_name, length=length, offset=offset,
+            data=data, map_epoch=epoch,
+        )
+
+    @property
+    def data_len(self) -> int:
+        return self.data.length if self.data is not None else 0
+
+
+@_register
+@dataclass
+class MOSDRepOpReply(Message):
+    """Replica → primary: transaction committed."""
+
+    TYPE: ClassVar[MessageType] = MessageType.OSD_REPOP_REPLY
+
+    result: int = 0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_s64(self.result)
+
+    @classmethod
+    def _decode_front(
+        cls, d: BufferDecoder, src: str, tid: int
+    ) -> "MOSDRepOpReply":
+        return cls(src=src, tid=tid, result=d.decode_s64())
+
+
+@_register
+@dataclass
+class MOSDPing(Message):
+    """OSD↔OSD heartbeat."""
+
+    TYPE: ClassVar[MessageType] = MessageType.PING
+
+    is_reply: bool = False
+    stamp: float = 0.0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_bool(self.is_reply)
+        bl.encode_f64(self.stamp)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDPing":
+        return cls(src=src, tid=tid, is_reply=d.decode_bool(),
+                   stamp=d.decode_f64())
+
+
+@_register
+@dataclass
+class MOSDBeacon(Message):
+    """OSD → monitor liveness beacon."""
+
+    TYPE: ClassVar[MessageType] = MessageType.OSD_BEACON
+
+    osd_id: int = 0
+    map_epoch: int = 0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_u32(self.osd_id)
+        bl.encode_u32(self.map_epoch)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDBeacon":
+        return cls(src=src, tid=tid, osd_id=d.decode_u32(),
+                   map_epoch=d.decode_u32())
+
+
+@_register
+@dataclass
+class MMonGetMap(Message):
+    """Client/OSD → monitor: send me the current OSDMap."""
+
+    TYPE: ClassVar[MessageType] = MessageType.MON_GET_MAP
+
+    have_epoch: int = 0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_u32(self.have_epoch)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MMonGetMap":
+        return cls(src=src, tid=tid, have_epoch=d.decode_u32())
+
+
+@_register
+@dataclass
+class MMonMapReply(Message):
+    """Monitor → requester: the OSDMap (object via ``attachment``; its
+    wire footprint modelled by a map-sized virtual blob)."""
+
+    TYPE: ClassVar[MessageType] = MessageType.MON_MAP_REPLY
+
+    epoch: int = 0
+    map_bytes: int = 4096
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_u32(self.epoch)
+        bl.encode_u32(self.map_bytes)
+
+    def _encode_data(self, bl: BufferList) -> None:
+        bl.append_blob(DataBlob(self.map_bytes))
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MMonMapReply":
+        epoch = d.decode_u32()
+        map_bytes = d.decode_u32()
+        d.decode_blob()
+        return cls(src=src, tid=tid, epoch=epoch, map_bytes=map_bytes)
+
+    @property
+    def data_len(self) -> int:
+        return self.map_bytes
+
+
+@_register
+@dataclass
+class MOSDPGPull(Message):
+    """Recovery: a (re)joining acting-set member asks the primary to
+    push the PG's objects."""
+
+    TYPE: ClassVar[MessageType] = MessageType.PG_PULL
+
+    pool: str = ""
+    pg_seed: int = 0
+    map_epoch: int = 0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_str(self.pool)
+        bl.encode_u32(self.pg_seed)
+        bl.encode_u32(self.map_epoch)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDPGPull":
+        return cls(src=src, tid=tid, pool=d.decode_str(),
+                   pg_seed=d.decode_u32(), map_epoch=d.decode_u32())
+
+
+@_register
+@dataclass
+class MOSDPGPush(Message):
+    """Recovery: primary pushes one object of a PG to a member.
+    ``last`` marks the final push of the recovery round."""
+
+    TYPE: ClassVar[MessageType] = MessageType.PG_PUSH
+
+    pool: str = ""
+    pg_seed: int = 0
+    object_name: str = ""
+    length: int = 0
+    data: Optional[DataBlob] = None
+    last: bool = False
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_str(self.pool)
+        bl.encode_u32(self.pg_seed)
+        bl.encode_str(self.object_name)
+        bl.encode_u64(self.length)
+        bl.encode_bool(self.last)
+        bl.encode_bool(self.data is not None)
+
+    def _encode_data(self, bl: BufferList) -> None:
+        if self.data is not None:
+            bl.append_blob(self.data)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDPGPush":
+        pool = d.decode_str()
+        pg_seed = d.decode_u32()
+        object_name = d.decode_str()
+        length = d.decode_u64()
+        last = d.decode_bool()
+        data = d.decode_blob() if d.decode_bool() else None
+        return cls(src=src, tid=tid, pool=pool, pg_seed=pg_seed,
+                   object_name=object_name, length=length, data=data,
+                   last=last)
+
+    @property
+    def data_len(self) -> int:
+        return self.data.length if self.data is not None else 0
+
+
+@_register
+@dataclass
+class MOSDPGPushReply(Message):
+    """Recovery: member acknowledges a push."""
+
+    TYPE: ClassVar[MessageType] = MessageType.PG_PUSH_REPLY
+
+    pg_seed: int = 0
+    result: int = 0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_u32(self.pg_seed)
+        bl.encode_s64(self.result)
+
+    @classmethod
+    def _decode_front(
+        cls, d: BufferDecoder, src: str, tid: int
+    ) -> "MOSDPGPushReply":
+        return cls(src=src, tid=tid, pg_seed=d.decode_u32(),
+                   result=d.decode_s64())
+
+
+@_register
+@dataclass
+class MScrubDigest(Message):
+    """Scrub: primary sends its per-object digest list for a PG;
+    replicas compare against their own metadata."""
+
+    TYPE: ClassVar[MessageType] = MessageType.SCRUB_DIGEST
+
+    pool: str = ""
+    pg_seed: int = 0
+    digests: dict[str, int] = field(default_factory=dict, compare=True)
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_str(self.pool)
+        bl.encode_u32(self.pg_seed)
+        bl.encode_u32(len(self.digests))
+        for name in sorted(self.digests):
+            bl.encode_str(name)
+            bl.encode_u64(self.digests[name])
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MScrubDigest":
+        pool = d.decode_str()
+        pg_seed = d.decode_u32()
+        n = d.decode_u32()
+        digests = {}
+        for _ in range(n):
+            name = d.decode_str()
+            digests[name] = d.decode_u64()
+        return cls(src=src, tid=tid, pool=pool, pg_seed=pg_seed,
+                   digests=digests)
+
+
+@_register
+@dataclass
+class MScrubReply(Message):
+    """Scrub: replica's verdict for a PG digest comparison."""
+
+    TYPE: ClassVar[MessageType] = MessageType.SCRUB_REPLY
+
+    pg_seed: int = 0
+    mismatches: int = 0
+
+    def _encode_front(self, bl: BufferList) -> None:
+        bl.encode_u32(self.pg_seed)
+        bl.encode_u32(self.mismatches)
+
+    @classmethod
+    def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MScrubReply":
+        return cls(src=src, tid=tid, pg_seed=d.decode_u32(),
+                   mismatches=d.decode_u32())

@@ -1,0 +1,313 @@
+"""The async messenger: Ceph's communication layer, reimplemented.
+
+This is the component the paper offloads.  Architecture mirrors Ceph's
+AsyncMessenger (§2.3, Figure 2):
+
+* a pool of ``msgr-worker-N`` threads, each running an epoll-style event
+  loop over the connections assigned to it (round-robin assignment, as
+  in Ceph);
+* the **send path** (worker context): encode the message (fixed cost +
+  checksum at ``crc_bandwidth``), traverse the kernel TCP send path
+  (CPU + context switches from the :class:`~repro.hw.tcp.TcpStackModel`),
+  then hand the bytes to the connection's wire pump — a per-connection
+  process that streams them through the NIC pipes in order, modelling
+  the kernel socket buffer draining asynchronously;
+* the **receive path** (worker context): epoll wakeup (context switch),
+  kernel TCP receive costs, decode, then dispatch to the registered
+  dispatcher (the OSD pushes into its op queue there);
+* an optional dispatch throttle bounding in-flight receive bytes.
+
+Every byte of CPU cost lands on the CPU complex of the messenger's
+:class:`~repro.hw.node.NetStack` — which is precisely how DoCeph moves
+messenger load off the host: construct the messenger on the DPU stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Protocol
+
+from ..hw.node import NetStack
+from ..hw.cpu import SimThread
+from ..sim import Container, Environment, Store
+from ..util.bufferlist import BufferList
+from .message import Message, decode_message
+
+__all__ = [
+    "AsyncMessenger",
+    "Connection",
+    "Dispatcher",
+    "MessengerCostModel",
+    "MsgrDirectory",
+    "MSGR_CATEGORY",
+]
+
+#: Thread category for messenger workers (Ceph's "msgr-worker-" prefix).
+MSGR_CATEGORY = "msgr-worker"
+
+
+@dataclass(frozen=True)
+class MessengerCostModel:
+    """CPU costs of messenger-internal work (beyond the TCP stack)."""
+
+    encode_fixed: float = 1.5e-6
+    """Per-message encode cost: header assembly, bufferlist builder."""
+
+    decode_fixed: float = 2.0e-6
+    """Per-message decode cost: header parse, message construction."""
+
+    crc_bandwidth: float = 6.0e9
+    """Payload checksum throughput, bytes/s (crc32c over data)."""
+
+    dispatch_fixed: float = 1.0e-6
+    """Cost of fast-dispatching a decoded message to the dispatcher."""
+
+    def encode_cpu(self, wire_bytes: int) -> float:
+        return self.encode_fixed + wire_bytes / self.crc_bandwidth
+
+    def decode_cpu(self, wire_bytes: int) -> float:
+        return self.decode_fixed + wire_bytes / self.crc_bandwidth
+
+
+class Dispatcher(Protocol):
+    """Anything able to receive messages from a messenger."""
+
+    def ms_dispatch(
+        self, msg: Message, conn: "Connection"
+    ) -> Generator[Any, Any, None]:
+        """Handle ``msg`` (runs in the messenger worker's context; must
+        be quick — heavy work belongs on the receiver's own threads)."""
+        ...
+
+
+class MsgrDirectory:
+    """Address → messenger registry for one simulated fabric."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, "AsyncMessenger"] = {}
+
+    def register(self, address: str, messenger: "AsyncMessenger") -> None:
+        if address in self._endpoints:
+            raise ValueError(f"messenger address in use: {address}")
+        self._endpoints[address] = messenger
+
+    def lookup(self, address: str) -> "AsyncMessenger":
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise ValueError(f"no messenger at address: {address}") from None
+
+
+class Connection:
+    """One ordered, bidirectional peer link (as seen from one side)."""
+
+    def __init__(
+        self,
+        messenger: "AsyncMessenger",
+        peer_addr: str,
+        worker: "_Worker",
+    ) -> None:
+        self.messenger = messenger
+        self.peer_addr = peer_addr
+        self.worker = worker
+        self._wire_queue: Store = Store(messenger.env)
+        self._pump = messenger.env.process(
+            self._wire_pump(), name=f"wire:{messenger.address}->{peer_addr}"
+        )
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, msg: Message) -> None:
+        """Queue ``msg`` for transmission (returns immediately; the
+        worker and wire pump do the rest in order)."""
+        self.worker.enqueue(("send", self, msg))
+
+    def _wire_pump(self) -> Generator[Any, Any, None]:
+        """Streams encoded messages through the NIC in FIFO order,
+        modelling the kernel socket buffer draining."""
+        env = self.messenger.env
+        net = self.messenger.stack.network
+        src = self.messenger.stack.address
+        while True:
+            bl, msg, wire_bytes = yield self._wire_queue.get()
+            yield from net.deliver(src, self.peer_addr, wire_bytes)
+            peer = self.messenger.directory.lookup(self.peer_addr)
+            peer._enqueue_incoming(src, bl, msg.attachment, wire_bytes)
+            self.messages_sent += 1
+            self.bytes_sent += wire_bytes
+
+    def __repr__(self) -> str:
+        return f"<Connection {self.messenger.address} -> {self.peer_addr}>"
+
+
+class _Worker:
+    """One msgr-worker thread: serial event loop over its connections."""
+
+    def __init__(self, messenger: "AsyncMessenger", index: int) -> None:
+        self.messenger = messenger
+        self.index = index
+        self.thread = SimThread(
+            messenger.stack.cpu,
+            f"{messenger.name}.msgr-worker-{index}",
+            MSGR_CATEGORY,
+        )
+        self.queue: Store = Store(messenger.env)
+        self.proc = messenger.env.process(
+            self._loop(), name=f"{messenger.name}.msgr-worker-{index}"
+        )
+
+    def enqueue(self, item: tuple) -> None:
+        # Store.put on an unbounded store succeeds synchronously; the
+        # returned event is consumed by the loop's get.
+        self.queue.put(item)
+
+    def _loop(self) -> Generator[Any, Any, None]:
+        msgr = self.messenger
+        tcp = msgr.stack.tcp
+        cost = msgr.cost
+        thread = self.thread
+        while True:
+            item = yield self.queue.get()
+            kind = item[0]
+            if kind == "send":
+                _, conn, msg = item
+                bl = msg.encode()
+                wire = len(bl) + _WIRE_OVERHEAD
+                yield from thread.charge(cost.encode_cpu(wire))
+                yield from thread.charge(tcp.send_cpu(wire))
+                yield from thread.ctx_switch(tcp.send_ctx(wire))
+                conn._wire_queue.put((bl, msg, wire))
+                msgr.messages_sent += 1
+                msgr.bytes_sent += wire
+            elif kind == "recv":
+                _, src_addr, bl, attachment, wire = item
+                # epoll wakeup + kernel receive path
+                yield from thread.ctx_switch(tcp.recv_ctx(wire))
+                yield from thread.charge(tcp.recv_cpu(wire))
+                yield from thread.charge(cost.decode_cpu(wire))
+                msg = decode_message(bl, attachment)
+                msgr.messages_received += 1
+                msgr.bytes_received += wire
+                if msgr.throttle is not None:
+                    yield msgr.throttle.get(max(1, wire))
+                    msg.throttle_release = _release_once(msgr.throttle, max(1, wire))  # type: ignore[attr-defined]
+                yield from thread.charge(cost.dispatch_fixed)
+                conn = msgr.connect(src_addr)
+                dispatcher = msgr.dispatcher
+                if dispatcher is not None:
+                    yield from dispatcher.ms_dispatch(msg, conn)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown worker item: {item!r}")
+
+
+def _release_once(throttle: Container, amount: int) -> Callable[[], None]:
+    released = [False]
+
+    def release() -> None:
+        if not released[0]:
+            released[0] = True
+            throttle.put(amount)
+
+    return release
+
+
+_WIRE_OVERHEAD = 33  # keep in sync with message.WIRE_OVERHEAD
+
+
+class AsyncMessenger:
+    """Messenger instance bound to one :class:`NetStack`.
+
+    Parameters
+    ----------
+    stack:
+        Where this messenger lives (host stack for Baseline, DPU stack
+        for DoCeph — this single argument is the paper's architectural
+        change).
+    name:
+        Instance name, e.g. ``"osd.0"``.
+    directory:
+        Shared address registry for the fabric.
+    workers:
+        msgr-worker thread count (Ceph default 3).
+    throttle_bytes:
+        Dispatch throttle capacity; ``None`` disables throttling.
+    """
+
+    def __init__(
+        self,
+        stack: NetStack,
+        name: str,
+        directory: MsgrDirectory,
+        workers: int = 3,
+        cost: MessengerCostModel | None = None,
+        throttle_bytes: Optional[int] = 256 * 1024 * 1024,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one messenger worker")
+        self.stack = stack
+        self.name = name
+        self.directory = directory
+        self.cost = cost or MessengerCostModel()
+        self.dispatcher: Optional[Dispatcher] = None
+        directory.register(stack.address, self)
+
+        self._workers = [_Worker(self, i) for i in range(workers)]
+        self._connections: dict[str, Connection] = {}
+        self._conn_counter = 0
+
+        self.throttle: Optional[Container] = None
+        if throttle_bytes is not None:
+            self.throttle = Container(
+                stack.env, capacity=throttle_bytes, init=throttle_bytes
+            )
+
+        # statistics
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def env(self) -> Environment:
+        return self.stack.env
+
+    @property
+    def address(self) -> str:
+        return self.stack.address
+
+    def register_dispatcher(self, dispatcher: Dispatcher) -> None:
+        """Set the entity that receives inbound messages."""
+        self.dispatcher = dispatcher
+
+    def connect(self, peer_addr: str) -> Connection:
+        """Get (or lazily create) the ordered connection to a peer.
+
+        New connections are assigned to workers round-robin, as in
+        Ceph's AsyncMessenger.
+        """
+        conn = self._connections.get(peer_addr)
+        if conn is None:
+            worker = self._workers[self._conn_counter % len(self._workers)]
+            self._conn_counter += 1
+            conn = Connection(self, peer_addr, worker)
+            self._connections[peer_addr] = conn
+        return conn
+
+    def send_message(self, msg: Message, peer_addr: str) -> None:
+        """Send ``msg`` to the messenger at ``peer_addr``."""
+        msg.src = self.address
+        self.connect(peer_addr).send(msg)
+
+    def _enqueue_incoming(
+        self, src_addr: str, bl: BufferList, attachment: Any, wire: int
+    ) -> None:
+        """Called by the sender's wire pump when bytes land in our
+        kernel receive buffer: wake the owning worker."""
+        conn = self.connect(src_addr)
+        conn.worker.enqueue(("recv", src_addr, bl, attachment, wire))
+
+    def __repr__(self) -> str:
+        return (
+            f"<AsyncMessenger {self.name}@{self.address} "
+            f"workers={len(self._workers)}>"
+        )

@@ -1,0 +1,39 @@
+"""ObjectStore interface, transactions, and the BlueStore backend."""
+
+from .api import (
+    NoSuchObject,
+    ObjectStore,
+    StatResult,
+    StoreError,
+    Transaction,
+    TxnOp,
+    TxnOpKind,
+)
+from .bluestore import (
+    BSTORE_CATEGORY,
+    BitmapAllocator,
+    BlueStore,
+    BlueStoreConfig,
+    CommitInfo,
+    Extent,
+    KVStore,
+    WriteBatch,
+)
+
+__all__ = [
+    "BSTORE_CATEGORY",
+    "BitmapAllocator",
+    "BlueStore",
+    "BlueStoreConfig",
+    "CommitInfo",
+    "Extent",
+    "KVStore",
+    "NoSuchObject",
+    "ObjectStore",
+    "StatResult",
+    "StoreError",
+    "Transaction",
+    "TxnOp",
+    "TxnOpKind",
+    "WriteBatch",
+]

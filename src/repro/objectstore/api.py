@@ -1,0 +1,227 @@
+"""The ObjectStore interface and Transaction type.
+
+Ceph's OSD talks to its backend exclusively through the pluggable
+``ObjectStore`` interface; BlueStore and FileStore are implementations.
+DoCeph exploits exactly this seam: on the DPU it substitutes a
+``ProxyObjectStore`` that forwards these calls to the host (§3.1).
+
+A :class:`Transaction` is an ordered list of mutations applied
+atomically.  Transactions encode to/decode from bufferlists because the
+proxy serializes them for the RPC/DMA channels (§4: "the arguments are
+serialized (e.g., collection ID, object handles, transaction data) into
+a bufferlist").
+
+All interface methods are generators: callers ``yield from`` them and
+resume when the operation reaches its completion point (commit for
+transactions, data availability for reads).  Each takes the calling
+:class:`~repro.hw.cpu.SimThread` so CPU is billed to whoever executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Generator, Optional
+
+from ..hw.cpu import SimThread
+from ..util.bufferlist import BufferDecoder, BufferList, DataBlob
+
+__all__ = [
+    "TxnOpKind",
+    "TxnOp",
+    "Transaction",
+    "ObjectStore",
+    "StatResult",
+    "StoreError",
+    "NoSuchObject",
+]
+
+
+class StoreError(Exception):
+    """Backend failure (bad transaction, missing collection, …)."""
+
+
+class NoSuchObject(StoreError):
+    """Stat/read of an object that does not exist."""
+
+
+class TxnOpKind(IntEnum):
+    """Mutation types a transaction may carry."""
+
+    TOUCH = 1
+    WRITE = 2
+    TRUNCATE = 3
+    REMOVE = 4
+    SETATTR = 5
+    OMAP_SET = 6
+    CREATE_COLLECTION = 7
+
+
+@dataclass
+class TxnOp:
+    """One mutation inside a transaction."""
+
+    kind: TxnOpKind
+    coll: str = ""
+    oid: str = ""
+    offset: int = 0
+    length: int = 0
+    data: Optional[DataBlob] = None
+    key: str = ""
+    value: bytes = b""
+
+
+@dataclass
+class Transaction:
+    """An atomic batch of mutations (BlueStore commits all-or-nothing)."""
+
+    ops: list[TxnOp] = field(default_factory=list)
+
+    # -- builders ----------------------------------------------------------
+    def touch(self, coll: str, oid: str) -> "Transaction":
+        self.ops.append(TxnOp(TxnOpKind.TOUCH, coll, oid))
+        return self
+
+    def write(
+        self, coll: str, oid: str, offset: int, length: int, data: DataBlob
+    ) -> "Transaction":
+        if length != data.length:
+            raise StoreError(
+                f"write length {length} != blob length {data.length}"
+            )
+        self.ops.append(
+            TxnOp(TxnOpKind.WRITE, coll, oid, offset=offset, length=length,
+                  data=data)
+        )
+        return self
+
+    def truncate(self, coll: str, oid: str, size: int) -> "Transaction":
+        self.ops.append(TxnOp(TxnOpKind.TRUNCATE, coll, oid, length=size))
+        return self
+
+    def remove(self, coll: str, oid: str) -> "Transaction":
+        self.ops.append(TxnOp(TxnOpKind.REMOVE, coll, oid))
+        return self
+
+    def setattr(self, coll: str, oid: str, key: str, value: bytes) -> "Transaction":
+        self.ops.append(
+            TxnOp(TxnOpKind.SETATTR, coll, oid, key=key, value=value)
+        )
+        return self
+
+    def omap_set(self, coll: str, oid: str, key: str, value: bytes) -> "Transaction":
+        self.ops.append(
+            TxnOp(TxnOpKind.OMAP_SET, coll, oid, key=key, value=value)
+        )
+        return self
+
+    def create_collection(self, coll: str) -> "Transaction":
+        self.ops.append(TxnOp(TxnOpKind.CREATE_COLLECTION, coll))
+        return self
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def data_len(self) -> int:
+        """Total bulk payload bytes carried by WRITE ops."""
+        return sum(op.length for op in self.ops if op.kind == TxnOpKind.WRITE)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    def data_blobs(self) -> list[DataBlob]:
+        return [op.data for op in self.ops
+                if op.kind == TxnOpKind.WRITE and op.data is not None]
+
+    # -- serialization (for the proxy channels) ------------------------------
+    def encode(self) -> BufferList:
+        bl = BufferList()
+        bl.encode_u32(len(self.ops))
+        for op in self.ops:
+            bl.encode_u8(int(op.kind))
+            bl.encode_str(op.coll)
+            bl.encode_str(op.oid)
+            bl.encode_u64(op.offset)
+            bl.encode_u64(op.length)
+            bl.encode_str(op.key)
+            bl.encode_bytes(op.value)
+            bl.encode_bool(op.data is not None)
+            if op.data is not None:
+                bl.append_blob(op.data)
+        return bl
+
+    @classmethod
+    def decode(cls, d: BufferDecoder) -> "Transaction":
+        n = d.decode_u32()
+        txn = cls()
+        for _ in range(n):
+            kind = TxnOpKind(d.decode_u8())
+            coll = d.decode_str()
+            oid = d.decode_str()
+            offset = d.decode_u64()
+            length = d.decode_u64()
+            key = d.decode_str()
+            value = d.decode_bytes()
+            data = d.decode_blob() if d.decode_bool() else None
+            txn.ops.append(
+                TxnOp(kind, coll, oid, offset=offset, length=length,
+                      data=data, key=key, value=value)
+            )
+        return txn
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """Result of a stat call."""
+
+    size: int
+    attrs: int  # number of xattrs
+    version: int
+
+
+class ObjectStore:
+    """Abstract backend interface (the seam DoCeph proxies across).
+
+    Implementations: :class:`~repro.objectstore.bluestore.BlueStore`
+    (real backend, host) and
+    :class:`~repro.core.proxy_objectstore.ProxyObjectStore` (DPU-side
+    forwarder).
+    """
+
+    # -- data plane -------------------------------------------------------------
+    def queue_transaction(
+        self, txn: Transaction, thread: SimThread
+    ) -> Generator[Any, Any, None]:
+        """Apply ``txn``; resumes the caller at durable commit."""
+        raise NotImplementedError
+
+    def read(
+        self, coll: str, oid: str, offset: int, length: int, thread: SimThread
+    ) -> Generator[Any, Any, DataBlob]:
+        """Read ``length`` bytes at ``offset``; returns a data blob."""
+        raise NotImplementedError
+
+    # -- control plane ---------------------------------------------------------
+    def stat(
+        self, coll: str, oid: str, thread: SimThread
+    ) -> Generator[Any, Any, StatResult]:
+        """Object metadata; raises :class:`NoSuchObject` if missing."""
+        raise NotImplementedError
+
+    def exists(
+        self, coll: str, oid: str, thread: SimThread
+    ) -> Generator[Any, Any, bool]:
+        """Does the object exist?"""
+        raise NotImplementedError
+
+    def getattr(
+        self, coll: str, oid: str, key: str, thread: SimThread
+    ) -> Generator[Any, Any, bytes]:
+        """Read one xattr; raises :class:`NoSuchObject` if missing."""
+        raise NotImplementedError
+
+    def list_objects(
+        self, coll: str, thread: SimThread
+    ) -> Generator[Any, Any, list[str]]:
+        """All object names in a collection."""
+        raise NotImplementedError

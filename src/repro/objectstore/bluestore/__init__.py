@@ -1,0 +1,18 @@
+"""BlueStore: bitmap allocator, embedded KV store, and the commit
+pipeline (aio data writes + batched kv_sync WAL flushes)."""
+
+from .allocator import AllocError, BitmapAllocator, Extent
+from .kv import KVStore, WriteBatch
+from .store import BSTORE_CATEGORY, BlueStore, BlueStoreConfig, CommitInfo
+
+__all__ = [
+    "AllocError",
+    "BSTORE_CATEGORY",
+    "BitmapAllocator",
+    "BlueStore",
+    "BlueStoreConfig",
+    "CommitInfo",
+    "Extent",
+    "KVStore",
+    "WriteBatch",
+]

@@ -1,0 +1,96 @@
+"""Embedded ordered key-value store ("RocksDB-lite").
+
+BlueStore keeps onodes, allocator state, and its write-ahead log in
+RocksDB.  This module provides the semantics BlueStore needs from it —
+ordered keys, prefix iteration, atomic write batches, and a WAL whose
+*size* feeds the device-write cost model — implemented on a sorted key
+list.  It is deterministic and dependency-free; the I/O cost of flushing
+batches is charged by BlueStore itself (the KV store only reports byte
+counts).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["KVStore", "WriteBatch"]
+
+
+@dataclass
+class WriteBatch:
+    """An atomic batch of KV mutations."""
+
+    puts: list[tuple[str, bytes]] = field(default_factory=list)
+    deletes: list[str] = field(default_factory=list)
+
+    def put(self, key: str, value: bytes) -> "WriteBatch":
+        self.puts.append((key, value))
+        return self
+
+    def delete(self, key: str) -> "WriteBatch":
+        self.deletes.append(key)
+        return self
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate WAL footprint of this batch."""
+        return sum(len(k) + len(v) + 16 for k, v in self.puts) + sum(
+            len(k) + 16 for k in self.deletes
+        )
+
+    def __len__(self) -> int:
+        return len(self.puts) + len(self.deletes)
+
+
+class KVStore:
+    """Ordered in-memory KV with atomic batches and prefix scans."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, bytes] = {}
+        self._keys: list[str] = []
+        self.batches_committed = 0
+        self.bytes_logged = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        """Single-key convenience write (its own batch)."""
+        self.commit(WriteBatch().put(key, value))
+
+    def delete(self, key: str) -> None:
+        self.commit(WriteBatch().delete(key))
+
+    def commit(self, batch: WriteBatch) -> int:
+        """Apply a batch atomically; returns its WAL byte footprint."""
+        for key, value in batch.puts:
+            if key not in self._data:
+                insort(self._keys, key)
+            self._data[key] = value
+        for key in batch.deletes:
+            if key in self._data:
+                del self._data[key]
+                idx = bisect_left(self._keys, key)
+                del self._keys[idx]
+        self.batches_committed += 1
+        self.bytes_logged += batch.size_bytes
+        return batch.size_bytes
+
+    def iterate_prefix(self, prefix: str) -> Iterator[tuple[str, bytes]]:
+        """All (key, value) pairs whose key starts with ``prefix``,
+        in key order."""
+        idx = bisect_left(self._keys, prefix)
+        while idx < len(self._keys):
+            key = self._keys[idx]
+            if not key.startswith(prefix):
+                break
+            yield key, self._data[key]
+            idx += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data

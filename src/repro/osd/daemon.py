@@ -1,0 +1,517 @@
+"""The OSD daemon: request dispatch, primary-copy replication, recovery
+hooks.
+
+Thread structure mirrors Figure 2 of the paper:
+
+* the messenger's ``msgr-worker`` threads fast-dispatch decoded messages
+  into the OSD's op queue (steps ②–③);
+* ``tp_osd_tp`` worker threads pop ops (step ④), do the PG-level
+  processing, submit transactions to the ObjectStore (step ⑤) and issue
+  replication messages back through the messenger (steps ⑥–⑧);
+* commit completions are event-driven (Ceph's on_commit contexts):
+  worker threads never block on I/O, so a small thread pool sustains
+  deep client concurrency;
+* once the local commit and every replica ack arrive, the client reply
+  goes out (step ⑨).
+
+The same daemon runs unmodified on the host (Baseline) or on the DPU
+(DoCeph) — only the CPU complex behind its threads and the ObjectStore
+behind ``self.store`` change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..hw.cpu import SimThread
+from ..msgr.heartbeat import HeartbeatAgent
+from ..msgr.message import (
+    Message,
+    MOSDBeacon,
+    MOSDOp,
+    MOSDOpReply,
+    MOSDPGPull,
+    MOSDPGPush,
+    MOSDPGPushReply,
+    MOSDPing,
+    MOSDRepOp,
+    MOSDRepOpReply,
+    MScrubDigest,
+    MScrubReply,
+    OpType,
+)
+from ..msgr.messenger import AsyncMessenger, Connection
+from ..objectstore.api import NoSuchObject, ObjectStore, StoreError, Transaction
+from ..rados.osdmap import OsdMap
+from ..rados.types import PgId
+from ..sim import AllOf, Event
+from .optracker import OpTracker
+from .opqueue import (
+    CLIENT_OP,
+    RECOVERY_OP,
+    SCRUB_OP,
+    SUB_OP,
+    WeightedPriorityQueue,
+)
+from .pg import PlacementGroup
+from .recovery import RecoveryManager
+from .scrub import ScrubManager
+
+__all__ = ["OsdDaemon", "OsdConfig", "OSD_CATEGORY"]
+
+#: Thread category for OSD worker threads (Ceph's "tp_osd_tp").
+OSD_CATEGORY = "tp_osd_tp"
+
+
+@dataclass(frozen=True)
+class OsdConfig:
+    """OSD thread counts and CPU cost constants."""
+
+    op_threads: int = 2
+    """tp_osd_tp worker count (Ceph osd_op_num_threads_per_shard × shards)."""
+
+    dispatch_cpu: float = 1.5e-6
+    """Fast-dispatch cost in the messenger worker (enqueue only)."""
+
+    op_cpu: float = 15.0e-6
+    """Per-client-op PG processing: pg lock, object context, op checks."""
+
+    repop_cpu: float = 8.0e-6
+    """Per-replicated-op processing on a replica."""
+
+    reply_cpu: float = 4.0e-6
+    """Building and queueing the client reply."""
+
+    heartbeat_interval: float = 1.0
+    """Peer ping period in seconds."""
+
+
+class _InFlightWrite:
+    """Tracks one client write until commit + all replica acks."""
+
+    def __init__(self, needed_acks: int, env: Any) -> None:
+        self.ack_events: list[Event] = [env.event() for _ in range(needed_acks)]
+        self._next = 0
+
+    def ack(self) -> None:
+        self.ack_events[self._next].succeed()
+        self._next += 1
+
+
+class OsdDaemon:
+    """One Object Storage Daemon."""
+
+    def __init__(
+        self,
+        osd_id: int,
+        messenger: AsyncMessenger,
+        store: ObjectStore,
+        osdmap: OsdMap,
+        config: Optional[OsdConfig] = None,
+    ) -> None:
+        self.osd_id = osd_id
+        self.name = f"osd.{osd_id}"
+        self.messenger = messenger
+        self.store = store
+        self.osdmap = osdmap
+        self.config = config or OsdConfig()
+        self.env = messenger.env
+
+        messenger.register_dispatcher(self)
+
+        self.pgs: dict[PgId, PlacementGroup] = {}
+        #: PGs whose data this OSD holds (drives recovery detection).
+        self.member_pgs: set[PgId] = set()
+        self._op_queue = WeightedPriorityQueue(self.env, seed=osd_id)
+        cpu = messenger.stack.cpu
+        self._op_threads = [
+            SimThread(cpu, f"{self.name}.tp_osd_tp-{i}", OSD_CATEGORY)
+            for i in range(self.config.op_threads)
+        ]
+        self._completion_thread = SimThread(
+            cpu, f"{self.name}.tp_osd_tp-complete", OSD_CATEGORY
+        )
+        for i, t in enumerate(self._op_threads):
+            self.env.process(self._op_loop(t), name=f"{self.name}.tp_osd_tp-{i}")
+
+        self._repop_tid = 0
+        self._inflight: dict[int, _InFlightWrite] = {}
+        self.heartbeat: Optional[HeartbeatAgent] = None
+        self.recovery: Optional[RecoveryManager] = None
+        self.scrub: Optional[ScrubManager] = None
+        self.tracker: Optional[OpTracker] = None
+
+        # statistics
+        self.client_ops = 0
+        self.repops = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ---------------------------------------------------------------- lifecycle
+    def activate_pgs(self, pool_name: str) -> Generator[Any, Any, None]:
+        """Create local state (and backing collections) for every PG this
+        OSD participates in.  Run at cluster bring-up."""
+        txn = Transaction()
+        for pgid in self.osdmap.all_pgs(pool_name):
+            acting = self.osdmap.pg_to_osds(pgid)
+            if self.osd_id in acting:
+                pg = PlacementGroup(pgid, acting, self.osd_id)
+                self.pgs[pgid] = pg
+                self.member_pgs.add(pgid)
+                txn.create_collection(pg.collection)
+        if txn.num_ops:
+            yield from self.store.queue_transaction(txn, self._op_threads[0])
+
+    def start_heartbeats(self, peer_addrs: list[str]) -> None:
+        """Begin pinging the given peer OSD addresses."""
+        self.heartbeat = HeartbeatAgent(
+            self.messenger, peer_addrs, interval=self.config.heartbeat_interval
+        )
+
+    def start_mon_beacon(self, mon_addr: str, interval: float = 1.0) -> None:
+        """Begin sending liveness beacons to the monitor."""
+        self.env.process(
+            self._beacon_loop(mon_addr, interval), name=f"{self.name}.beacon"
+        )
+
+    def _beacon_loop(
+        self, mon_addr: str, interval: float
+    ) -> Generator[Any, Any, None]:
+        tid = 0
+        while True:
+            tid += 1
+            self.messenger.send_message(
+                MOSDBeacon(tid=tid, osd_id=self.osd_id,
+                           map_epoch=self.osdmap.epoch),
+                mon_addr,
+            )
+            yield self.env.timeout(interval)
+
+    def enable_recovery(self, pool_names: list[str],
+                        tick: float = 1.0) -> None:
+        """Start the background recovery manager."""
+        self.recovery = RecoveryManager(self, pool_names, tick=tick)
+
+    def enable_scrub(self, pool_names: list[str],
+                     interval: float = 20.0) -> None:
+        """Start periodic light scrubbing of the PGs this OSD leads."""
+        self.scrub = ScrubManager(self, pool_names, interval=interval)
+
+    def enable_op_tracking(self, history_size: int = 256) -> OpTracker:
+        """Turn on per-op stage tracing (Ceph's dump_historic_ops)."""
+        self.tracker = OpTracker(history_size)
+        return self.tracker
+
+    def refresh_pg(self, pgid: PgId) -> PlacementGroup:
+        """Re-read the acting set from the (possibly newer) OSDMap."""
+        acting = self.osdmap.pg_to_osds(pgid)
+        pg = self.pgs.get(pgid)
+        if pg is None or pg.acting != acting:
+            clean = pg.clean if pg is not None else True
+            pg = PlacementGroup(pgid, acting, self.osd_id, clean=clean)
+            self.pgs[pgid] = pg
+        return pg
+
+    # ---------------------------------------------------------------- dispatch
+    def ms_dispatch(
+        self, msg: Message, conn: Connection
+    ) -> Generator[Any, Any, None]:
+        """Fast dispatch, runs in the messenger worker (keep it light)."""
+        if isinstance(msg, MOSDOp):
+            if self.tracker is not None:
+                tracked = self.tracker.create(
+                    f"osd_op({msg.op.name} {msg.pool}/{msg.object_name})",
+                    self.env.now,
+                )
+                tracked.mark(self.env.now, "queued_for_pg")
+                msg.tracked_op = tracked  # type: ignore[attr-defined]
+            self._op_queue.enqueue(msg, CLIENT_OP)
+        elif isinstance(msg, MOSDRepOp):
+            self._op_queue.enqueue(msg, SUB_OP)
+        elif isinstance(msg, (MOSDPGPull, MOSDPGPush)):
+            self._op_queue.enqueue(msg, RECOVERY_OP)
+        elif isinstance(msg, MScrubDigest):
+            self._op_queue.enqueue(msg, SCRUB_OP)
+        elif isinstance(msg, MOSDPGPushReply):
+            if self.recovery is not None:
+                self.recovery.handle_push_reply(msg)
+            _release(msg)
+        elif isinstance(msg, MScrubReply):
+            if self.scrub is not None:
+                self.scrub.handle_reply(msg)
+            _release(msg)
+        elif isinstance(msg, MOSDRepOpReply):
+            inflight = self._inflight.get(msg.tid)
+            if inflight is not None:
+                inflight.ack()
+            _release(msg)
+        elif isinstance(msg, MOSDPing):
+            if self.heartbeat is not None:
+                reply = self.heartbeat.handle_ping(msg)
+                if reply is not None:
+                    self.messenger.send_message(reply, msg.src)
+            elif not msg.is_reply:
+                self.messenger.send_message(
+                    MOSDPing(tid=msg.tid, is_reply=True, stamp=msg.stamp),
+                    msg.src,
+                )
+            _release(msg)
+        else:
+            _release(msg)
+        if False:  # keep the generator form the messenger expects
+            yield
+
+    # ---------------------------------------------------------------- op loop
+    def _op_loop(self, thread: SimThread) -> Generator[Any, Any, None]:
+        while True:
+            msg = yield self._op_queue.dequeue()
+            yield from thread.ctx_switch()
+            if isinstance(msg, MOSDOp):
+                if msg.op == OpType.WRITE:
+                    yield from self._handle_client_write(msg, thread)
+                elif msg.op == OpType.READ:
+                    yield from self._handle_client_read(msg, thread)
+                elif msg.op == OpType.STAT:
+                    yield from self._handle_client_stat(msg, thread)
+                elif msg.op == OpType.DELETE:
+                    yield from self._handle_client_delete(msg, thread)
+            elif isinstance(msg, MOSDRepOp):
+                yield from self._handle_repop(msg, thread)
+            elif isinstance(msg, MOSDPGPull):
+                if self.recovery is not None:
+                    self.recovery.handle_pull(msg)
+                _release(msg)
+            elif isinstance(msg, MOSDPGPush):
+                if self.recovery is not None:
+                    self.env.process(
+                        self.recovery.handle_push(msg),
+                        name=f"{self.name}.recv-push",
+                    )
+                else:
+                    _release(msg)
+            elif isinstance(msg, MScrubDigest):
+                if self.scrub is not None:
+                    self.env.process(
+                        self.scrub.handle_digest(msg),
+                        name=f"{self.name}.scrub-check",
+                    )
+                else:
+                    _release(msg)
+
+    # -- client write (primary) ------------------------------------------------
+    def _handle_client_write(
+        self, msg: MOSDOp, thread: SimThread
+    ) -> Generator[Any, Any, None]:
+        yield from thread.charge(self.config.op_cpu)
+        _mark(msg, self.env.now, "reached_pg")
+        pgid = self.osdmap.object_to_pg(msg.pool, msg.object_name)
+        pg = self.refresh_pg(pgid)
+        assert msg.data is not None, "WRITE op without payload"
+
+        txn = Transaction()
+        if pgid not in self.member_pgs:
+            # remapped PG whose backfill hasn't started yet: create the
+            # collection so fresh writes land (recovery pulls the rest)
+            txn.create_collection(pg.collection)
+        txn.write(
+            pg.collection, msg.object_name, msg.offset, msg.length, msg.data
+        )
+        inflight = _InFlightWrite(len(pg.replicas), self.env)
+        self._repop_tid += 1
+        repop_tid = self._repop_tid
+        if pg.replicas:
+            self._inflight[repop_tid] = inflight
+        for replica in pg.replicas:
+            self.messenger.send_message(
+                MOSDRepOp(
+                    tid=repop_tid,
+                    pool=msg.pool,
+                    pg_seed=pgid.seed,
+                    object_name=msg.object_name,
+                    length=msg.length,
+                    offset=msg.offset,
+                    data=msg.data,
+                    map_epoch=self.osdmap.epoch,
+                ),
+                self.osdmap.address_of(replica),
+            )
+            pg.repops_sent += 1
+        if pg.replicas:
+            _mark(msg, self.env.now, "sub_op_sent")
+
+        pg.record_write(msg.length)
+        self.client_ops += 1
+        self.bytes_written += msg.length
+        self.env.process(
+            self._commit_and_reply(msg, txn, inflight, repop_tid),
+            name=f"{self.name}.commit.{msg.tid}",
+        )
+
+    def _commit_and_reply(
+        self,
+        msg: MOSDOp,
+        txn: Transaction,
+        inflight: _InFlightWrite,
+        repop_tid: int,
+    ) -> Generator[Any, Any, None]:
+        thread = self._completion_thread
+        _mark(msg, self.env.now, "queued_transaction")
+        local = self.env.process(
+            self.store.queue_transaction(txn, thread),
+            name=f"{self.name}.txn.{msg.tid}",
+        )
+        result = 0
+        try:
+            yield AllOf(self.env, [local, *inflight.ack_events])
+        except StoreError:
+            result = -22  # -EINVAL
+        _mark(msg, self.env.now, "commit_received")
+        self._inflight.pop(repop_tid, None)
+        yield from thread.charge(self.config.reply_cpu)
+        self.messenger.send_message(
+            MOSDOpReply(tid=msg.tid, result=result, version=self.osdmap.epoch),
+            msg.src,
+        )
+        _complete(self, msg)
+        _release(msg)
+
+    # -- client read -----------------------------------------------------------------
+    def _handle_client_read(
+        self, msg: MOSDOp, thread: SimThread
+    ) -> Generator[Any, Any, None]:
+        yield from thread.charge(self.config.op_cpu)
+        pgid = self.osdmap.object_to_pg(msg.pool, msg.object_name)
+        pg = self.refresh_pg(pgid)
+        pg.record_read(msg.length)
+        self.client_ops += 1
+        self.bytes_read += msg.length
+        self.env.process(
+            self._read_and_reply(msg, pg), name=f"{self.name}.read.{msg.tid}"
+        )
+
+    def _read_and_reply(
+        self, msg: MOSDOp, pg: PlacementGroup
+    ) -> Generator[Any, Any, None]:
+        thread = self._completion_thread
+        try:
+            blob = yield from self.store.read(
+                pg.collection, msg.object_name, msg.offset, msg.length, thread
+            )
+            reply = MOSDOpReply(tid=msg.tid, result=0, data=blob)
+        except NoSuchObject:
+            reply = MOSDOpReply(tid=msg.tid, result=-2)  # -ENOENT
+        yield from thread.charge(self.config.reply_cpu)
+        self.messenger.send_message(reply, msg.src)
+        _release(msg)
+
+    # -- client stat -----------------------------------------------------------------
+    def _handle_client_stat(
+        self, msg: MOSDOp, thread: SimThread
+    ) -> Generator[Any, Any, None]:
+        yield from thread.charge(self.config.op_cpu)
+        pgid = self.osdmap.object_to_pg(msg.pool, msg.object_name)
+        pg = self.refresh_pg(pgid)
+
+        def work() -> Generator[Any, Any, None]:
+            t = self._completion_thread
+            try:
+                st = yield from self.store.stat(
+                    pg.collection, msg.object_name, t
+                )
+                reply = MOSDOpReply(tid=msg.tid, result=0, version=st.version)
+                reply.attachment = st
+            except NoSuchObject:
+                reply = MOSDOpReply(tid=msg.tid, result=-2)
+            yield from t.charge(self.config.reply_cpu)
+            self.messenger.send_message(reply, msg.src)
+            _release(msg)
+
+        self.env.process(work(), name=f"{self.name}.stat.{msg.tid}")
+
+    # -- client delete -----------------------------------------------------------------
+    def _handle_client_delete(
+        self, msg: MOSDOp, thread: SimThread
+    ) -> Generator[Any, Any, None]:
+        yield from thread.charge(self.config.op_cpu)
+        pgid = self.osdmap.object_to_pg(msg.pool, msg.object_name)
+        pg = self.refresh_pg(pgid)
+        txn = Transaction().remove(pg.collection, msg.object_name)
+        inflight = _InFlightWrite(len(pg.replicas), self.env)
+        self._repop_tid += 1
+        repop_tid = self._repop_tid
+        if pg.replicas:
+            self._inflight[repop_tid] = inflight
+        for replica in pg.replicas:
+            self.messenger.send_message(
+                MOSDRepOp(
+                    tid=repop_tid, pool=msg.pool, pg_seed=pgid.seed,
+                    object_name=msg.object_name, length=0,
+                    map_epoch=self.osdmap.epoch,
+                ),
+                self.osdmap.address_of(replica),
+            )
+        self.env.process(
+            self._commit_and_reply(msg, txn, inflight, repop_tid),
+            name=f"{self.name}.del.{msg.tid}",
+        )
+
+    # -- replica side -----------------------------------------------------------------
+    def _handle_repop(
+        self, msg: MOSDRepOp, thread: SimThread
+    ) -> Generator[Any, Any, None]:
+        yield from thread.charge(self.config.repop_cpu)
+        pgid = PgId(self.osdmap.pool_by_name(msg.pool).id, msg.pg_seed)
+        pg = self.refresh_pg(pgid)
+        txn = Transaction()
+        if pgid not in self.member_pgs:
+            txn.create_collection(pg.collection)
+        if msg.data is not None:
+            txn.write(
+                pg.collection, msg.object_name, msg.offset, msg.length, msg.data
+            )
+        else:
+            txn.remove(pg.collection, msg.object_name)
+        pg.repops_applied += 1
+        self.repops += 1
+        self.env.process(
+            self._apply_repop(msg, txn), name=f"{self.name}.repop.{msg.tid}"
+        )
+
+    def _apply_repop(
+        self, msg: MOSDRepOp, txn: Transaction
+    ) -> Generator[Any, Any, None]:
+        thread = self._completion_thread
+        result = 0
+        try:
+            yield from self.store.queue_transaction(txn, thread)
+        except StoreError:
+            result = -22  # -EINVAL
+        self.messenger.send_message(
+            MOSDRepOpReply(tid=msg.tid, result=result), msg.src
+        )
+        _release(msg)
+
+    def __repr__(self) -> str:
+        return f"<OsdDaemon {self.name} pgs={len(self.pgs)}>"
+
+
+def _release(msg: Message) -> None:
+    """Release the dispatch-throttle reservation attached to a message."""
+    release = getattr(msg, "throttle_release", None)
+    if release is not None:
+        release()
+
+
+def _mark(msg: Message, now: float, stage: str) -> None:
+    """Record a stage transition on a tracked op (no-op untracked)."""
+    tracked = getattr(msg, "tracked_op", None)
+    if tracked is not None:
+        tracked.mark(now, stage)
+
+
+def _complete(osd: "OsdDaemon", msg: Message) -> None:
+    """Finish a tracked op (no-op untracked)."""
+    tracked = getattr(msg, "tracked_op", None)
+    if tracked is not None and osd.tracker is not None:
+        osd.tracker.complete(tracked, osd.env.now)

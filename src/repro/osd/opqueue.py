@@ -1,0 +1,149 @@
+"""Prioritized OSD operation queue (Ceph's WPQ discipline).
+
+Ceph schedules work items (client ops, sub-ops, recovery pushes, scrubs)
+through a weighted priority queue: *strict*-priority items always go
+first; everything else is dequeued with probability proportional to its
+priority, so background recovery can never starve client I/O and vice
+versa.
+
+This is a faithful reimplementation of the WPQ semantics on top of the
+simulation kernel's event machinery: ``enqueue``/``dequeue`` are event
+based so OSD worker threads simply ``yield queue.dequeue()``.
+
+Priority classes follow Ceph's conventions:
+
+* ``CLIENT_OP``   (63)  — client I/O
+* ``SUB_OP``      (127) — replication sub-operations (strict band)
+* ``RECOVERY_OP`` (5)   — background recovery/backfill
+* ``SCRUB_OP``    (5)   — background scrubbing
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim import Environment, Event
+from ..util.rng import SeededRng
+
+__all__ = ["WeightedPriorityQueue", "QueueItem",
+           "CLIENT_OP", "SUB_OP", "RECOVERY_OP", "SCRUB_OP",
+           "STRICT_THRESHOLD"]
+
+CLIENT_OP = 63
+SUB_OP = 127
+RECOVERY_OP = 5
+SCRUB_OP = 5
+
+#: Priorities at or above this are strict (always dequeued first);
+#: mirrors Ceph's osd_client_op_priority cutoff behaviour.
+STRICT_THRESHOLD = 64
+
+
+@dataclass(order=True)
+class QueueItem:
+    """One queued work item (ordering key: priority desc, then FIFO)."""
+
+    sort_key: tuple = field(init=False, repr=False)
+    priority: int
+    seq: int
+    payload: Any = field(compare=False)
+
+    def __post_init__(self) -> None:
+        self.sort_key = (-self.priority, self.seq)
+
+
+class WeightedPriorityQueue:
+    """WPQ: strict band + weighted-fair band.
+
+    Items with priority ≥ :data:`STRICT_THRESHOLD` are served in strict
+    priority/FIFO order before anything else.  Items below the
+    threshold are served weighted-fair: each dequeue picks a priority
+    class with probability proportional to (priority × backlog-present),
+    using a deterministic seeded RNG so simulations stay reproducible.
+    """
+
+    def __init__(self, env: Environment, seed: int = 0) -> None:
+        self.env = env
+        self._seq = 0
+        self._strict: list[QueueItem] = []  # heap
+        self._weighted: dict[int, list[QueueItem]] = {}  # prio -> FIFO
+        self._waiters: list[Event] = []
+        self._rng = SeededRng(seed).stream("wpq")
+
+        # statistics
+        self.enqueued = 0
+        self.dequeued = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._strict) + sum(
+            len(q) for q in self._weighted.values()
+        )
+
+    def enqueue(self, payload: Any, priority: int = CLIENT_OP) -> None:
+        """Add a work item (non-blocking; queue is unbounded)."""
+        if priority < 0:
+            raise ValueError(f"negative priority: {priority}")
+        self._seq += 1
+        item = QueueItem(priority=priority, seq=self._seq, payload=payload)
+        if priority >= STRICT_THRESHOLD:
+            heapq.heappush(self._strict, item)
+        else:
+            self._weighted.setdefault(priority, []).append(item)
+        self.enqueued += 1
+        self.max_depth = max(self.max_depth, len(self))
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            waiter.succeed(self._pop())
+
+    def dequeue(self) -> Event:
+        """Event yielding the next work item's payload."""
+        ev = self.env.event()
+        if len(self):
+            ev.succeed(self._pop())
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    # ---------------------------------------------------------------- internals
+    def _pop(self) -> Any:
+        self.dequeued += 1
+        if self._strict:
+            return heapq.heappop(self._strict).payload
+        # weighted-fair pick among backlogged priorities
+        classes = [(p, q) for p, q in self._weighted.items() if q]
+        assert classes, "pop from empty queue"
+        if len(classes) == 1:
+            prio, q = classes[0]
+        else:
+            total = sum(p for p, _ in classes)
+            pick = self._rng.uniform(0, total)
+            acc = 0.0
+            prio, q = classes[-1]
+            for p, queue in sorted(classes):
+                acc += p
+                if pick <= acc:
+                    prio, q = p, queue
+                    break
+        item = q.pop(0)
+        if not q:
+            del self._weighted[prio]
+        return item.payload
+
+    def depth_by_class(self) -> dict[int, int]:
+        """Backlog per priority (strict classes included)."""
+        out: dict[int, int] = {}
+        for item in self._strict:
+            out[item.priority] = out.get(item.priority, 0) + 1
+        for prio, q in self._weighted.items():
+            if q:
+                out[prio] = out.get(prio, 0) + len(q)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<WeightedPriorityQueue depth={len(self)} "
+            f"strict={len(self._strict)}>"
+        )

@@ -1,0 +1,154 @@
+"""Light scrubbing: periodic replica-consistency checks.
+
+The primary of each PG periodically builds a per-object digest list
+(name + version, via metadata stats) and sends it to the replicas,
+which compare against their own metadata and report mismatches.  This
+is Ceph's light scrub — pure control-plane traffic, which under DoCeph
+flows over the proxy RPC channel and costs the host almost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from ..msgr.message import MScrubDigest, MScrubReply
+from ..objectstore.api import NoSuchObject, StoreError
+from ..rados.types import PgId
+from ..sim import Event
+from ..util.rjenkins import crush_hash32_2, ceph_str_hash_rjenkins
+
+if TYPE_CHECKING:
+    from .daemon import OsdDaemon
+
+__all__ = ["ScrubManager"]
+
+
+def _digest(name: str, version: int) -> int:
+    """Metadata digest of one object replica."""
+    return crush_hash32_2(ceph_str_hash_rjenkins(name), version)
+
+
+class ScrubManager:
+    """Round-robin light scrubber for the PGs this OSD leads."""
+
+    def __init__(
+        self,
+        osd: "OsdDaemon",
+        pool_names: list[str],
+        interval: float = 20.0,
+    ) -> None:
+        self.osd = osd
+        self.env = osd.env
+        self.pool_names = pool_names
+        self.interval = interval
+        self._tid = 0
+        self._pending: dict[int, Event] = {}
+        self._cursor = 0
+
+        # statistics
+        self.scrubs_completed = 0
+        self.objects_scrubbed = 0
+        self.inconsistencies = 0
+
+        self._proc = self.env.process(
+            self._loop(), name=f"{osd.name}.scrub"
+        )
+
+    def _primary_pgs(self) -> list[PgId]:
+        out = []
+        for pool in self.pool_names:
+            for pgid in self.osd.osdmap.all_pgs(pool):
+                acting = self.osd.osdmap.pg_to_osds(pgid)
+                if acting and acting[0] == self.osd.osd_id:
+                    out.append(pgid)
+        return out
+
+    def _loop(self) -> Generator[Any, Any, None]:
+        while True:
+            yield self.env.timeout(self.interval)
+            pgs = self._primary_pgs()
+            if not pgs:
+                continue
+            pgid = pgs[self._cursor % len(pgs)]
+            self._cursor += 1
+            yield from self._scrub_pg(pgid)
+
+    def _scrub_pg(self, pgid: PgId) -> Generator[Any, Any, None]:
+        osd = self.osd
+        coll = str(pgid)
+        thread = osd._completion_thread
+        digests = yield from self._local_digests(coll, thread)
+        if digests is None:
+            return
+        self.objects_scrubbed += len(digests)
+
+        acting = osd.osdmap.pg_to_osds(pgid)
+        replies = []
+        for replica in acting[1:]:
+            self._tid += 1
+            ev = self.env.event()
+            self._pending[self._tid] = ev
+            replies.append(ev)
+            osd.messenger.send_message(
+                MScrubDigest(tid=self._tid, pool=self._pool_name(pgid),
+                             pg_seed=pgid.seed, digests=digests),
+                osd.osdmap.address_of(replica),
+            )
+        for ev in replies:
+            reply: MScrubReply = yield ev
+            self.inconsistencies += reply.mismatches
+        self.scrubs_completed += 1
+
+    def _pool_name(self, pgid: PgId) -> str:
+        return self.osd.osdmap.pools[pgid.pool].name
+
+    def _local_digests(
+        self, coll: str, thread: Any
+    ) -> Generator[Any, Any, Optional[dict[str, int]]]:
+        osd = self.osd
+        try:
+            names = yield from osd.store.list_objects(coll, thread)
+        except StoreError:
+            return None
+        digests: dict[str, int] = {}
+        for name in names:
+            try:
+                st = yield from osd.store.stat(coll, name, thread)
+            except NoSuchObject:
+                continue
+            digests[name] = _digest(name, st.version)
+        return digests
+
+    # ---------------------------------------------------------------- replica side
+    def handle_digest(self, msg: MScrubDigest) -> Generator[Any, Any, None]:
+        """Compare the primary's digests against ours; reply (process)."""
+        osd = self.osd
+        pool = osd.osdmap.pool_by_name(msg.pool)
+        coll = str(PgId(pool.id, msg.pg_seed))
+        ours = yield from self._local_digests(coll, osd._completion_thread)
+        if ours is None:
+            ours = {}
+        mismatches = 0
+        for name, digest in msg.digests.items():
+            if ours.get(name) != digest:
+                mismatches += 1
+        mismatches += sum(1 for name in ours if name not in msg.digests)
+        osd.messenger.send_message(
+            MScrubReply(tid=msg.tid, pg_seed=msg.pg_seed,
+                        mismatches=mismatches),
+            msg.src,
+        )
+        release = getattr(msg, "throttle_release", None)
+        if release is not None:
+            release()
+
+    def handle_reply(self, msg: MScrubReply) -> None:
+        ev = self._pending.pop(msg.tid, None)
+        if ev is not None:
+            ev.succeed(msg)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScrubManager {self.osd.name} scrubs={self.scrubs_completed}"
+            f" inconsistencies={self.inconsistencies}>"
+        )

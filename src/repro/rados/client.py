@@ -1,0 +1,246 @@
+"""librados-style client.
+
+A :class:`RadosClient` owns its own messenger (on the client node's
+stack), fetches the OSDMap from the monitor at boot, computes object
+placement locally (CRUSH runs client-side in RADOS — there is no
+metadata server on the data path), and issues ops directly to primary
+OSDs.  Replies are matched to callers by transaction id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..msgr.message import (
+    Message,
+    MMonGetMap,
+    MMonMapReply,
+    MOSDOp,
+    MOSDOpReply,
+    OpType,
+)
+from ..msgr.messenger import AsyncMessenger, Connection
+from ..sim import Event
+from ..util.bufferlist import DataBlob
+from .osdmap import OsdMap
+
+__all__ = ["AioCompletion", "RadosClient", "RadosError", "OpResult"]
+
+
+class RadosError(Exception):
+    """An operation failed (non-zero result code from the OSD)."""
+
+    def __init__(self, result: int, what: str) -> None:
+        super().__init__(f"{what}: result={result}")
+        self.result = result
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome of one client operation."""
+
+    tid: int
+    result: int
+    latency: float
+    data: Optional[DataBlob] = None
+    version: int = 0
+    attachment: Any = None
+
+
+class AioCompletion:
+    """Handle for one asynchronous operation (librados-style).
+
+    ``yield completion.wait()`` resumes the caller when the operation
+    finishes; :attr:`result` then holds the :class:`OpResult` (or the
+    :class:`RadosError` is re-raised at the wait point).
+    """
+
+    def __init__(self, env: Any) -> None:
+        self.env = env
+        self._event: Event = env.event()
+        self.result: Optional[OpResult] = None
+        self.error: Optional[RadosError] = None
+
+    @property
+    def is_complete(self) -> bool:
+        return self._event.triggered
+
+    def complete(self, result: OpResult) -> None:
+        self.result = result
+        self._event.succeed(result)
+
+    def fail(self, error: RadosError) -> None:
+        self.error = error
+        self._event.fail(error)
+
+    def wait(self) -> Event:
+        """The event to ``yield`` on; value is the :class:`OpResult`."""
+        return self._event
+
+
+class RadosClient:
+    """One client endpoint (the RADOS bench tool spawns many I/O
+    contexts on top of a single client)."""
+
+    def __init__(self, messenger: AsyncMessenger, mon_addr: str) -> None:
+        self.messenger = messenger
+        self.mon_addr = mon_addr
+        self.env = messenger.env
+        self.osdmap: Optional[OsdMap] = None
+        self._pending: dict[int, Event] = {}
+        self._sent_at: dict[int, float] = {}
+        self._tid = 0
+        messenger.register_dispatcher(self)
+
+        # statistics
+        self.ops_completed = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ---------------------------------------------------------------- boot
+    def boot(self) -> Generator[Any, Any, None]:
+        """Fetch the cluster map from the monitor."""
+        tid = self._next_tid()
+        ev = self.env.event()
+        self._pending[tid] = ev
+        self._sent_at[tid] = self.env.now
+        self.messenger.send_message(MMonGetMap(tid=tid), self.mon_addr)
+        reply: MMonMapReply = yield ev
+        self.osdmap = reply.attachment
+        if self.osdmap is None:
+            raise RadosError(-5, "monitor returned no map")
+
+    # ---------------------------------------------------------------- ops
+    def write_object(
+        self, pool: str, oid: str, size: int, offset: int = 0
+    ) -> Generator[Any, Any, OpResult]:
+        """Write ``size`` bytes; resumes when the cluster acks durability."""
+        res = yield from self._do_op(
+            pool, oid, OpType.WRITE, size, offset, DataBlob(size)
+        )
+        self.bytes_written += size
+        return res
+
+    def read_object(
+        self, pool: str, oid: str, size: int, offset: int = 0
+    ) -> Generator[Any, Any, OpResult]:
+        """Read ``size`` bytes from an object."""
+        res = yield from self._do_op(pool, oid, OpType.READ, size, offset, None)
+        self.bytes_read += res.data.length if res.data else 0
+        return res
+
+    def stat_object(
+        self, pool: str, oid: str
+    ) -> Generator[Any, Any, OpResult]:
+        """Object metadata (size/version via the reply attachment)."""
+        return (yield from self._do_op(pool, oid, OpType.STAT, 0, 0, None))
+
+    def delete_object(
+        self, pool: str, oid: str
+    ) -> Generator[Any, Any, OpResult]:
+        """Remove an object (replicated like a write)."""
+        return (yield from self._do_op(pool, oid, OpType.DELETE, 0, 0, None))
+
+    def _do_op(
+        self,
+        pool: str,
+        oid: str,
+        op: OpType,
+        size: int,
+        offset: int,
+        data: Optional[DataBlob],
+    ) -> Generator[Any, Any, OpResult]:
+        if self.osdmap is None:
+            raise RadosError(-107, "client not booted")
+        pgid = self.osdmap.object_to_pg(pool, oid)
+        primary = self.osdmap.pg_primary(pgid)
+        tid = self._next_tid()
+        ev = self.env.event()
+        self._pending[tid] = ev
+        t0 = self.env.now
+        self._sent_at[tid] = t0
+        self.messenger.send_message(
+            MOSDOp(
+                tid=tid, pool=pool, object_name=oid, op=op,
+                length=size, offset=offset, data=data,
+                map_epoch=self.osdmap.epoch,
+            ),
+            self.osdmap.address_of(primary),
+        )
+        reply: MOSDOpReply = yield ev
+        latency = self.env.now - t0
+        self.ops_completed += 1
+        # -ENOENT on stat/read is an answer, not a failure; everything
+        # else non-zero raises.
+        benign = reply.result == -2 and op in (OpType.STAT, OpType.READ)
+        if reply.result != 0 and not benign:
+            raise RadosError(reply.result, f"{op.name} {pool}/{oid}")
+        return OpResult(
+            tid=tid, result=reply.result, latency=latency,
+            data=reply.data, version=reply.version,
+            attachment=reply.attachment,
+        )
+
+    # ---------------------------------------------------------------- aio
+    def aio_write(
+        self, pool: str, oid: str, size: int, offset: int = 0
+    ) -> "AioCompletion":
+        """Asynchronous write: returns immediately with a completion.
+
+        Mirrors librados's ``aio_write``: the caller may issue many
+        operations back-to-back and wait on the completions later,
+        driving arbitrary queue depth from one context."""
+        return self._aio(pool, oid, OpType.WRITE, size, offset,
+                         DataBlob(size))
+
+    def aio_read(
+        self, pool: str, oid: str, size: int, offset: int = 0
+    ) -> "AioCompletion":
+        """Asynchronous read: returns immediately with a completion."""
+        return self._aio(pool, oid, OpType.READ, size, offset, None)
+
+    def _aio(
+        self,
+        pool: str,
+        oid: str,
+        op: OpType,
+        size: int,
+        offset: int,
+        data: Optional[DataBlob],
+    ) -> "AioCompletion":
+        completion = AioCompletion(self.env)
+
+        def driver() -> Any:
+            try:
+                result = yield from self._do_op(pool, oid, op, size,
+                                                offset, data)
+            except RadosError as exc:
+                completion.fail(exc)
+                return
+            completion.complete(result)
+
+        self.env.process(driver(), name=f"aio-{oid}")
+        return completion
+
+    def _next_tid(self) -> int:
+        self._tid += 1
+        return self._tid
+
+    # ---------------------------------------------------------------- dispatch
+    def ms_dispatch(
+        self, msg: Message, conn: Connection
+    ) -> Generator[Any, Any, None]:
+        if isinstance(msg, (MOSDOpReply, MMonMapReply)):
+            ev = self._pending.pop(msg.tid, None)
+            self._sent_at.pop(msg.tid, None)
+            if ev is not None:
+                ev.succeed(msg)
+        release = getattr(msg, "throttle_release", None)
+        if release is not None:
+            release()
+        if False:  # generator form
+            yield
+
+    def __repr__(self) -> str:
+        return f"<RadosClient @{self.messenger.address}>"

@@ -1,0 +1,126 @@
+"""The OSDMap: epoch-versioned view of cluster membership and placement.
+
+Mirrors the role of Ceph's OSDMap: it binds pool definitions to the
+CRUSH map and answers "which OSDs serve this PG, and who is primary?"
+Epochs increase on every mutation (OSD up/down/in/out, pool create), and
+daemons compare epochs to detect staleness — the monitor distributes new
+epochs, and tests exercise failure-driven remapping through exactly this
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..crush import CrushMap
+from .types import PgId, Pool, object_to_pg, pg_to_crush_input
+
+__all__ = ["OsdMap", "OsdState", "OsdInfo"]
+
+
+class OsdState(Enum):
+    """Liveness/membership of one OSD."""
+
+    UP_IN = "up+in"
+    DOWN_IN = "down+in"
+    DOWN_OUT = "down+out"
+
+
+@dataclass
+class OsdInfo:
+    """Per-OSD record in the map."""
+
+    osd_id: int
+    state: OsdState = OsdState.UP_IN
+    address: str = ""  # network address of the serving messenger
+
+
+@dataclass
+class OsdMap:
+    """Cluster map: pools + CRUSH + OSD states, versioned by epoch."""
+
+    crush: CrushMap
+    epoch: int = 1
+    pools: dict[int, Pool] = field(default_factory=dict)
+    osds: dict[int, OsdInfo] = field(default_factory=dict)
+
+    # -- membership ------------------------------------------------------------
+    def add_osd(self, osd_id: int, address: str) -> None:
+        if osd_id in self.osds:
+            raise ValueError(f"osd.{osd_id} already in map")
+        self.osds[osd_id] = OsdInfo(osd_id, OsdState.UP_IN, address)
+        self.epoch += 1
+
+    def mark_down(self, osd_id: int) -> None:
+        """Mark an OSD down (still in; PGs degraded but not remapped)."""
+        info = self._info(osd_id)
+        if info.state == OsdState.UP_IN:
+            info.state = OsdState.DOWN_IN
+            self.epoch += 1
+
+    def mark_out(self, osd_id: int) -> None:
+        """Mark an OSD out: CRUSH stops mapping data to it."""
+        info = self._info(osd_id)
+        if info.state != OsdState.DOWN_OUT:
+            info.state = OsdState.DOWN_OUT
+            self.crush.set_reweight(osd_id, 0.0)
+            self.epoch += 1
+
+    def mark_up(self, osd_id: int, address: str | None = None) -> None:
+        info = self._info(osd_id)
+        if info.state != OsdState.UP_IN:
+            info.state = OsdState.UP_IN
+            self.crush.set_reweight(osd_id, 1.0)
+            if address is not None:
+                info.address = address
+            self.epoch += 1
+
+    def is_up(self, osd_id: int) -> bool:
+        info = self.osds.get(osd_id)
+        return info is not None and info.state == OsdState.UP_IN
+
+    def address_of(self, osd_id: int) -> str:
+        return self._info(osd_id).address
+
+    def _info(self, osd_id: int) -> OsdInfo:
+        try:
+            return self.osds[osd_id]
+        except KeyError:
+            raise ValueError(f"unknown osd.{osd_id}") from None
+
+    # -- pools -------------------------------------------------------------------
+    def create_pool(self, pool: Pool) -> None:
+        if pool.id in self.pools:
+            raise ValueError(f"duplicate pool id {pool.id}")
+        if any(p.name == pool.name for p in self.pools.values()):
+            raise ValueError(f"duplicate pool name {pool.name}")
+        self.pools[pool.id] = pool
+        self.epoch += 1
+
+    def pool_by_name(self, name: str) -> Pool:
+        for pool in self.pools.values():
+            if pool.name == name:
+                return pool
+        raise ValueError(f"unknown pool: {name}")
+
+    # -- placement ----------------------------------------------------------------
+    def object_to_pg(self, pool_name: str, object_name: str) -> PgId:
+        return object_to_pg(self.pool_by_name(pool_name), object_name)
+
+    def pg_to_osds(self, pgid: PgId) -> list[int]:
+        """Acting set of a PG: up OSDs only, CRUSH order preserved."""
+        pool = self.pools[pgid.pool]
+        raw = self.crush.map_x(pool.rule_name, pg_to_crush_input(pgid), pool.size)
+        return [osd for osd in raw if self.is_up(osd)]
+
+    def pg_primary(self, pgid: PgId) -> int:
+        """The primary OSD of a PG (first in the acting set)."""
+        acting = self.pg_to_osds(pgid)
+        if not acting:
+            raise ValueError(f"PG {pgid} has no acting set")
+        return acting[0]
+
+    def all_pgs(self, pool_name: str) -> list[PgId]:
+        pool = self.pool_by_name(pool_name)
+        return [PgId(pool.id, seed) for seed in range(pool.pg_num)]

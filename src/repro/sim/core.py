@@ -1,0 +1,536 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module implements the event loop at the heart of the DoCeph
+reproduction: a SimPy-flavoured kernel built from scratch so that the
+whole repository is dependency-free and bit-reproducible.
+
+Design notes
+------------
+* **Determinism.**  The event heap orders entries by
+  ``(time, priority, sequence)``.  The monotonically increasing sequence
+  number breaks ties in insertion order, so two runs of the same model
+  with the same seed produce identical traces.
+* **Processes are generators.**  A process yields events; when a yielded
+  event triggers, the process is resumed with the event's value (or the
+  event's exception is thrown into it).
+* **No wall-clock anywhere.**  ``env.now`` is the only notion of time.
+
+The public surface mirrors the familiar SimPy API (``Environment``,
+``Process``, ``Timeout``, ``Event``, ``AllOf``, ``AnyOf``) which keeps the
+higher-level hardware models readable to anyone who has written DES
+models before.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Iterable, Optional
+
+from .exceptions import Interrupt, SimulationError, StopSimulation
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+]
+
+#: Scheduling priority for urgent events (processed before normal events
+#: scheduled at the same simulated time).  Used internally for process
+#: initialisation and interrupts.
+PRIORITY_URGENT = 0
+
+#: Default scheduling priority.
+PRIORITY_NORMAL = 1
+
+# Sentinel distinguishing "not yet triggered" from "triggered with None".
+_PENDING = object()
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or
+    :meth:`fail` *triggers* it, scheduling it on the environment's queue;
+    when the event loop pops it, the event is *processed*: all callbacks
+    run and any waiting processes resume.
+
+    Attributes
+    ----------
+    env:
+        The owning :class:`Environment`.
+    callbacks:
+        List of callables invoked with the event when it is processed.
+        ``None`` once the event has been processed.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (only meaningful if triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value.  Raises if the event is not yet triggered."""
+        if self._value is _PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception of a failed event, else ``None``."""
+        if not self._ok and self._value is not _PENDING:
+            return self._value  # type: ignore[return-value]
+        return None
+
+    @property
+    def defused(self) -> bool:
+        """Whether a failure has been marked as handled.
+
+        A failed event whose exception is never retrieved would silently
+        swallow the error; the kernel re-raises undefused failures at the
+        top of the event loop.
+        """
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(
+                f"fail() requires an exception, got {exception!r}"
+            )
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if self._value is not _PENDING:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition -------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after ``delay`` units of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Initialize(Event):
+    """Internal: first resumption of a freshly started process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)  # type: ignore[union-attr]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class _Interruption(Event):
+    """Internal: delivers an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if process is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self.process = process
+        self.callbacks.append(self._deliver)  # type: ignore[union-attr]
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.env.schedule(self, priority=PRIORITY_URGENT)
+
+    def _deliver(self, event: "Event") -> None:
+        proc = self.process
+        if proc.triggered:
+            return  # process terminated before interrupt delivery
+        # Detach the process from the event it is currently waiting for.
+        target = proc._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(proc._resume)
+            except ValueError:
+                pass
+        proc._resume(self)
+
+
+class Process(Event):
+    """A process: a generator driven by the events it yields.
+
+    A ``Process`` is itself an event that triggers when the generator
+    terminates — either with the generator's return value (success) or
+    with the uncaught exception (failure).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+        self.name = name or getattr(generator, "__name__", "process")
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not terminated."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits for (``None`` if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process."""
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The process handles (or not) the failure.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Process finished successfully.
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:  # noqa: BLE001 - model errors propagate
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                exc2 = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                event = Event(env)
+                event._ok = False
+                event._value = exc2
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: park until it triggers.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+            # Event already processed: feed its outcome straight back in.
+            event = next_event
+
+        self._target = None if not isinstance(event, Event) else self._target
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class Condition(Event):
+    """An event that triggers when a predicate over child events holds.
+
+    Used through the :class:`AllOf` / :class:`AnyOf` helpers or the
+    ``&`` / ``|`` operators on events.  The condition's value is a dict
+    mapping each *triggered* child event to its value, preserving the
+    original event order.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+
+        if not self._events:
+            self.succeed(self._collect())
+            return
+
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {
+            ev: ev._value
+            for ev in self._events
+            if ev.callbacks is None and ev._ok and ev._value is not _PENDING
+        }
+
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            if not event._ok and not event._defused:
+                # Condition already triggered; don't swallow the failure.
+                event._defused = False
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self._ok = False
+            self._value = event._value
+            self.env.schedule(self)
+        elif self._evaluate(self._events, self._count):
+            self._ok = True
+            self._value = self._collect()
+            self.env.schedule(self)
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        """Predicate: every child event has triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        """Predicate: at least one child event has triggered."""
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* of ``events`` have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* of ``events`` has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(5)
+    ...     return env.now
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> p.value
+    5
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (``None`` between events)."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process driven by ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Queue ``event`` for processing ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise IndexError("no more events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it instead of losing it.
+            raise event._value  # type: ignore[misc]
+
+    def run(self, until: Any = None) -> Any:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the queue drains.
+            a number — run until simulated time reaches that point.
+            an :class:`Event` — run until it triggers; its value is returned.
+        """
+        stop_at: Optional[float] = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    return until.value if until.ok else None
+                until.callbacks.append(StopSimulation.callback)
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise SimulationError(
+                        f"until={stop_at} lies in the past (now={self._now})"
+                    )
+
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] >= stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+
+        if stop_at is not None:
+            # Queue drained before the deadline; clock still advances.
+            self._now = stop_at
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

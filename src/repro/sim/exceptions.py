@@ -1,0 +1,52 @@
+"""Exception types used by the discrete-event simulation kernel.
+
+The kernel distinguishes three failure classes:
+
+* :class:`SimulationError` — a bug in the simulation model itself
+  (e.g. yielding a non-event from a process).
+* :class:`Interrupt` — a cooperative interruption of a process, delivered
+  by :meth:`repro.sim.core.Process.interrupt`.
+* :class:`StopSimulation` — internal control-flow signal raised to leave
+  the event loop when the ``until`` event of :meth:`Environment.run`
+  triggers.  Never leaks to user code.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["SimulationError", "Interrupt", "StopSimulation"]
+
+
+class SimulationError(Exception):
+    """A structural error in the simulation (model bug, illegal yield)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.core.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt` (may be ``None``)."""
+        return self.args[0]
+
+
+class StopSimulation(Exception):
+    """Internal signal: the event passed to ``Environment.run(until=...)``
+    has triggered and the event loop must return."""
+
+    @classmethod
+    def callback(cls, event: Any) -> None:
+        """Event callback that raises :class:`StopSimulation`."""
+        if event.ok:
+            raise cls(event.value)
+        # Propagate failures of the until-event to the caller of run().
+        event.defused = True
+        raise event.exception  # type: ignore[misc]

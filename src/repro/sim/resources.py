@@ -1,0 +1,363 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Provides the queuing building blocks the hardware models are made of:
+
+* :class:`Resource` — ``capacity`` identical servers, FIFO queue
+  (CPU cores, DMA channels, SSD submission slots).
+* :class:`PriorityResource` — like :class:`Resource` but requests carry a
+  priority (smaller = more urgent); ties break FIFO.
+* :class:`Container` — a continuous quantity with bounded capacity
+  (buffer-pool bytes).
+* :class:`Store` / :class:`FilterStore` — queues of Python objects
+  (dispatch queues, mailboxes).
+
+All request/release operations are events, so processes simply ``yield``
+them.  Requests support the context-manager protocol::
+
+    with resource.request() as req:
+        yield req
+        ...             # holding the resource
+    # released on exit
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .core import Environment, Event
+from .exceptions import SimulationError
+
+__all__ = [
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "PriorityRequest",
+    "Release",
+    "Container",
+    "Store",
+    "FilterStore",
+]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        if not self.triggered:
+            self.resource._withdraw(self)
+
+    def release(self) -> "Release":
+        """Release the resource claimed by this request."""
+        return Release(self.resource, self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self.triggered:
+            self.resource._do_release(self)
+        else:
+            self.cancel()
+
+
+class PriorityRequest(Request):
+    """A prioritized claim; smaller ``priority`` is served first."""
+
+    __slots__ = ("priority", "seq")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        self.seq = resource._next_seq()
+        super().__init__(resource)
+
+    def sort_key(self) -> tuple[int, int]:
+        return (self.priority, self.seq)
+
+
+class Release(Event):
+    """Event representing the release of a previously granted request."""
+
+    __slots__ = ()
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of currently granted requests."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim one unit of the resource (an event to ``yield``)."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release a granted request outside the with-statement form."""
+        return Release(self, request)
+
+    # -- internals -----------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _withdraw(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _do_release(self, request: Request) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an ungranted or already-released request is a
+            # model bug; surface it loudly.
+            raise SimulationError("release of a request that holds nothing")
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.count}/{self.capacity} busy,"
+            f" {len(self.queue)} queued>"
+        )
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(request)
+            request.succeed()
+            return
+        # Insert in (priority, seq) order; deque insort by linear scan is
+        # fine at the queue lengths these models produce.
+        key = request.sort_key()
+        for i, waiting in enumerate(self.queue):
+            assert isinstance(waiting, PriorityRequest)
+            if key < waiting.sort_key():
+                self.queue.insert(i, request)
+                return
+        self.queue.append(request)
+
+
+class _ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.env)
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive: {amount}")
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._trigger()
+
+
+class _ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.env)
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive: {amount}")
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._trigger()
+
+
+class Container:
+    """A homogeneous quantity with bounded level (e.g. pool of bytes)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("initial level out of bounds")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._get_waiters: deque[_ContainerGet] = deque()
+        self._put_waiters: deque[_ContainerPut] = deque()
+
+    @property
+    def level(self) -> float:
+        """Currently available amount."""
+        return self._level
+
+    def get(self, amount: float) -> _ContainerGet:
+        """Withdraw ``amount`` (waits until available)."""
+        return _ContainerGet(self, amount)
+
+    def put(self, amount: float) -> _ContainerPut:
+        """Deposit ``amount`` (waits until it fits under capacity)."""
+        return _ContainerPut(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters:
+                put = self._put_waiters[0]
+                if self._level + put.amount <= self.capacity:
+                    self._put_waiters.popleft()
+                    self._level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._get_waiters:
+                get = self._get_waiters[0]
+                if self._level >= get.amount:
+                    self._get_waiters.popleft()
+                    self._level -= get.amount
+                    get.succeed()
+                    progressed = True
+
+
+class _StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(
+        self,
+        store: "Store",
+        filter: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        store._getters.append(self)
+        store._trigger()
+
+
+class _StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._putters.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO queue of arbitrary items with optional bounded capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[_StoreGet] = deque()
+        self._putters: deque[_StorePut] = deque()
+
+    def put(self, item: Any) -> _StorePut:
+        """Append ``item`` (waits while the store is full)."""
+        return _StorePut(self, item)
+
+    def get(self) -> _StoreGet:
+        """Pop the oldest item (waits while the store is empty)."""
+        return _StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._getters and self.items:
+                if self._match_get():
+                    progressed = True
+
+    def _match_get(self) -> bool:
+        get = self._getters[0]
+        if self.items:
+            self._getters.popleft()
+            get.succeed(self.items.popleft())
+            return True
+        return False
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose getters may select items by predicate."""
+
+    def get(  # type: ignore[override]
+        self, filter: Optional[Callable[[Any], bool]] = None
+    ) -> _StoreGet:
+        """Pop the oldest item matching ``filter`` (all items if ``None``)."""
+        return _StoreGet(self, filter)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Try every waiting getter (a later getter's filter may match
+            # even when the head getter's doesn't).
+            for get in list(self._getters):
+                matched = None
+                for item in self.items:
+                    if get.filter is None or get.filter(item):
+                        matched = item
+                        break
+                if matched is not None:
+                    self.items.remove(matched)
+                    self._getters.remove(get)
+                    get.succeed(matched)
+                    progressed = True

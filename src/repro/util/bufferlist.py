@@ -1,0 +1,302 @@
+"""Ceph-style bufferlist encoding.
+
+Ceph serializes every message and every ObjectStore transaction into a
+``bufferlist`` — an ordered list of buffer extents with little-endian
+primitive encoders layered on top (``denc``).  This module reimplements
+that idea with one twist needed for simulation scale:
+
+Bulk payload data is represented by :class:`DataBlob` — a *virtual*
+extent that has a length and an identity but no materialized bytes.
+A 16 MB client write therefore costs a few dozen real bytes of metadata
+plus one virtual extent, while every length/offset computation (and the
+CPU-cost accounting derived from them) still sees the true sizes.
+
+The encode format is self-describing enough for round-trips:
+
+* primitives: little-endian fixed width (u8/u16/u32/u64/s64/f64)
+* ``bytes`` / ``str``: u32 length prefix + raw bytes
+* blob: appended as a raw virtual extent (callers encode its length
+  themselves, exactly like Ceph encodes ``data_len`` in message headers)
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = ["DataBlob", "BufferList", "BufferDecoder", "EncodeError"]
+
+
+class EncodeError(Exception):
+    """Raised on malformed decode input or illegal encode arguments."""
+
+
+_blob_counter = 0
+
+
+def _next_blob_id() -> int:
+    global _blob_counter
+    _blob_counter += 1
+    return _blob_counter
+
+
+@dataclass(frozen=True)
+class DataBlob:
+    """A virtual bulk-data extent: identity + length, no materialized bytes.
+
+    Two blobs compare equal only if they are the same logical data
+    (same ``blob_id``).  ``slice`` produces derived blobs that keep the
+    parent identity visible, which the DMA-segmentation code uses to
+    verify that reassembled segments cover the original extent exactly.
+    """
+
+    length: int
+    blob_id: int = field(default_factory=_next_blob_id)
+    parent_id: int | None = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise EncodeError(f"blob length must be >= 0, got {self.length}")
+
+    def slice(self, offset: int, length: int) -> "DataBlob":
+        """A sub-extent [offset, offset+length) of this blob."""
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise EncodeError(
+                f"slice [{offset}, {offset + length}) out of bounds "
+                f"for blob of length {self.length}"
+            )
+        root = self.parent_id if self.parent_id is not None else self.blob_id
+        return DataBlob(
+            length=length,
+            parent_id=root,
+            offset=self.offset + offset,
+        )
+
+    @property
+    def root_id(self) -> int:
+        """Identity of the original (unsliced) blob."""
+        return self.parent_id if self.parent_id is not None else self.blob_id
+
+    def __len__(self) -> int:
+        return self.length
+
+
+Extent = Union[bytes, DataBlob]
+
+
+class BufferList:
+    """An append-only list of real-byte and virtual-blob extents."""
+
+    def __init__(self) -> None:
+        self._extents: list[Extent] = []
+        self._tail: bytearray | None = None
+        self._length = 0
+
+    # -- sizes ---------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total logical length: real bytes + virtual blob bytes."""
+        return self._length
+
+    @property
+    def real_length(self) -> int:
+        """Bytes that exist for real (metadata, headers)."""
+        return sum(len(e) for e in self._flush() if isinstance(e, bytes))
+
+    @property
+    def virtual_length(self) -> int:
+        """Bytes represented only as virtual blobs (bulk payload)."""
+        return sum(e.length for e in self._flush() if isinstance(e, DataBlob))
+
+    def extents(self) -> list[Extent]:
+        """The extent list (bytes objects and DataBlobs, in order)."""
+        return list(self._flush())
+
+    def blobs(self) -> list[DataBlob]:
+        """Just the virtual extents, in order."""
+        return [e for e in self._flush() if isinstance(e, DataBlob)]
+
+    # -- raw appends -----------------------------------------------------------
+    def _raw(self, data: bytes) -> None:
+        if self._tail is None:
+            self._tail = bytearray()
+        self._tail += data
+        self._length += len(data)
+
+    def _flush(self) -> list[Extent]:
+        if self._tail is not None:
+            self._extents.append(bytes(self._tail))
+            self._tail = None
+        return self._extents
+
+    def append_blob(self, blob: DataBlob) -> None:
+        """Append a virtual bulk-data extent."""
+        self._flush()
+        self._extents.append(blob)
+        self._length += blob.length
+
+    def append_bufferlist(self, other: "BufferList") -> None:
+        """Splice another bufferlist's extents onto this one."""
+        for extent in other._flush():
+            if isinstance(extent, DataBlob):
+                self.append_blob(extent)
+            else:
+                self._raw(extent)
+
+    # -- primitive encoders -------------------------------------------------
+    def encode_u8(self, v: int) -> None:
+        self._raw(struct.pack("<B", v))
+
+    def encode_u16(self, v: int) -> None:
+        self._raw(struct.pack("<H", v))
+
+    def encode_u32(self, v: int) -> None:
+        self._raw(struct.pack("<I", v))
+
+    def encode_u64(self, v: int) -> None:
+        self._raw(struct.pack("<Q", v))
+
+    def encode_s64(self, v: int) -> None:
+        self._raw(struct.pack("<q", v))
+
+    def encode_f64(self, v: float) -> None:
+        self._raw(struct.pack("<d", v))
+
+    def encode_bool(self, v: bool) -> None:
+        self.encode_u8(1 if v else 0)
+
+    def encode_bytes(self, data: bytes) -> None:
+        """u32 length prefix + raw bytes."""
+        self.encode_u32(len(data))
+        self._raw(data)
+
+    def encode_str(self, s: str) -> None:
+        self.encode_bytes(s.encode("utf-8"))
+
+    # -- integrity -------------------------------------------------------------
+    def crc32(self) -> int:
+        """CRC over real bytes, mixing in blob identities for virtual data.
+
+        Good enough to detect reordering/corruption in tests; the *cost*
+        of checksumming (which is what the CPU model charges) is always
+        based on the full logical length.
+        """
+        crc = 0
+        for extent in self._flush():
+            if isinstance(extent, bytes):
+                crc = zlib.crc32(extent, crc)
+            else:
+                tag = struct.pack(
+                    "<QQQ", extent.root_id, extent.offset, extent.length
+                )
+                crc = zlib.crc32(tag, crc)
+        return crc & 0xFFFFFFFF
+
+    def decoder(self) -> "BufferDecoder":
+        """A decoding cursor over this bufferlist."""
+        return BufferDecoder(self._flush())
+
+    def __repr__(self) -> str:
+        return (
+            f"<BufferList len={len(self)} real={self.real_length}"
+            f" virtual={self.virtual_length}>"
+        )
+
+
+class BufferDecoder:
+    """Sequential decoding cursor over a bufferlist's extents."""
+
+    def __init__(self, extents: list[Extent]) -> None:
+        self._extents = extents
+        self._idx = 0
+        self._pos = 0  # within current real extent
+
+    def _current_bytes(self) -> bytes:
+        while self._idx < len(self._extents):
+            extent = self._extents[self._idx]
+            if isinstance(extent, DataBlob):
+                raise EncodeError(
+                    "attempted to decode primitives out of a virtual blob"
+                )
+            if self._pos < len(extent):
+                return extent
+            self._idx += 1
+            self._pos = 0
+        raise EncodeError("decode past end of bufferlist")
+
+    def _take(self, n: int) -> bytes:
+        out = bytearray()
+        while n > 0:
+            cur = self._current_bytes()
+            avail = len(cur) - self._pos
+            chunk = min(avail, n)
+            out += cur[self._pos : self._pos + chunk]
+            self._pos += chunk
+            n -= chunk
+            if self._pos >= len(cur):
+                self._idx += 1
+                self._pos = 0
+        return bytes(out)
+
+    # -- primitive decoders ----------------------------------------------------
+    def decode_u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def decode_u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def decode_u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def decode_u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def decode_s64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def decode_f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def decode_bool(self) -> bool:
+        return self.decode_u8() != 0
+
+    def decode_bytes(self) -> bytes:
+        n = self.decode_u32()
+        return self._take(n)
+
+    def decode_str(self) -> str:
+        return self.decode_bytes().decode("utf-8")
+
+    def decode_blob(self) -> DataBlob:
+        """Consume the next extent, which must be a virtual blob."""
+        # Skip any exhausted real extent first.
+        while (
+            self._idx < len(self._extents)
+            and isinstance(self._extents[self._idx], bytes)
+            and self._pos >= len(self._extents[self._idx])  # type: ignore[arg-type]
+        ):
+            self._idx += 1
+            self._pos = 0
+        if self._idx >= len(self._extents):
+            raise EncodeError("decode_blob past end of bufferlist")
+        extent = self._extents[self._idx]
+        if not isinstance(extent, DataBlob):
+            raise EncodeError(
+                f"expected a virtual blob, found {len(extent)} real bytes"
+            )
+        self._idx += 1
+        self._pos = 0
+        return extent
+
+    def remaining_extents(self) -> Iterator[Extent]:
+        """Iterate over whatever has not been consumed yet."""
+        if self._idx < len(self._extents):
+            first = self._extents[self._idx]
+            if isinstance(first, bytes):
+                if self._pos < len(first):
+                    yield first[self._pos :]
+            else:
+                yield first
+            yield from self._extents[self._idx + 1 :]

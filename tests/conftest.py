@@ -1,0 +1,10 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()

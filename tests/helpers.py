@@ -1,0 +1,27 @@
+"""Helper factories shared across test modules."""
+
+from repro.hw import CpuComplex, Network, Nic, TcpStackModel
+from repro.hw.node import NetStack
+from repro.sim import Environment
+
+
+def make_stack(
+    env: Environment,
+    network: Network,
+    address: str,
+    cores: int = 4,
+    perf: float = 1.0,
+    bandwidth_bps: float = 100e9,
+    tcp: TcpStackModel | None = None,
+) -> NetStack:
+    """Build a CPU+NIC endpoint attached to ``network``."""
+    cpu = CpuComplex(env, f"{address}.cpu", cores=cores, perf=perf)
+    nic = Nic(env, f"{address}.nic", bandwidth_bps=bandwidth_bps)
+    network.attach(address, nic)
+    return NetStack(
+        cpu=cpu,
+        nic=nic,
+        network=network,
+        address=address,
+        tcp=tcp or TcpStackModel(),
+    )

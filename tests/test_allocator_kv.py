@@ -1,0 +1,198 @@
+"""Tests for the bitmap allocator and the embedded KV store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objectstore import BitmapAllocator, Extent, KVStore, WriteBatch
+from repro.objectstore.bluestore.allocator import AllocError
+
+
+UNIT = 4096
+
+
+def make_alloc(blocks=64):
+    return BitmapAllocator(blocks * UNIT, alloc_unit=UNIT)
+
+
+# ---------------------------------------------------------------- allocator
+
+
+def test_simple_allocate_free_cycle():
+    a = make_alloc()
+    extents = a.allocate(3 * UNIT)
+    assert sum(e.length for e in extents) == 3 * UNIT
+    assert a.used_bytes == 3 * UNIT
+    a.free(extents)
+    assert a.used_bytes == 0
+    assert a.free_bytes == a.capacity
+
+
+def test_allocation_rounds_up_to_blocks():
+    a = make_alloc()
+    extents = a.allocate(100)  # < 1 block
+    assert sum(e.length for e in extents) == UNIT
+
+
+def test_out_of_space():
+    a = make_alloc(blocks=4)
+    a.allocate(4 * UNIT)
+    with pytest.raises(AllocError, match="out of space"):
+        a.allocate(UNIT)
+
+
+def test_fragmented_allocation_spans_extents():
+    a = make_alloc(blocks=8)
+    first = a.allocate(8 * UNIT)
+    a.free([Extent(1 * UNIT, UNIT)])
+    a.free([Extent(3 * UNIT, UNIT)])
+    a.free([Extent(5 * UNIT, UNIT)])
+    extents = a.allocate(3 * UNIT)
+    assert sum(e.length for e in extents) == 3 * UNIT
+    assert len(extents) == 3  # necessarily fragmented
+    assert a.free_bytes == 0
+
+
+def test_double_free_detected():
+    a = make_alloc()
+    extents = a.allocate(UNIT)
+    a.free(extents)
+    with pytest.raises(AllocError, match="double free"):
+        a.free(extents)
+
+
+def test_misaligned_and_out_of_range_free():
+    a = make_alloc(blocks=4)
+    with pytest.raises(AllocError, match="misaligned"):
+        a.free([Extent(100, UNIT)])
+    with pytest.raises(AllocError, match="range"):
+        a.free([Extent(10 * UNIT, UNIT)])
+
+
+def test_invalid_construction_and_sizes():
+    with pytest.raises(AllocError):
+        BitmapAllocator(0)
+    with pytest.raises(AllocError):
+        BitmapAllocator(100, alloc_unit=64)  # not a multiple
+    a = make_alloc()
+    with pytest.raises(AllocError):
+        a.allocate(0)
+
+
+def test_hint_advances_round_robin():
+    """Sequential allocations lay out contiguously (first-fit + hint)."""
+    a = make_alloc(blocks=16)
+    e1 = a.allocate(4 * UNIT)
+    e2 = a.allocate(4 * UNIT)
+    assert e1[0].offset + e1[0].length == e2[0].offset
+
+
+def test_fragmentation_score():
+    a = make_alloc(blocks=8)
+    assert a.fragmentation() == 0.0
+    a.allocate(8 * UNIT)
+    a.free([Extent(0, UNIT), Extent(4 * UNIT, UNIT)])
+    assert a.fragmentation() > 0.0
+
+
+@given(
+    requests=st.lists(st.integers(min_value=1, max_value=10 * UNIT),
+                      min_size=1, max_size=30)
+)
+@settings(max_examples=100)
+def test_allocator_conservation_property(requests):
+    """free + used == capacity at every step; freeing everything
+    restores a pristine allocator."""
+    a = BitmapAllocator(256 * UNIT, alloc_unit=UNIT)
+    live = []
+    for i, size in enumerate(requests):
+        try:
+            extents = a.allocate(size)
+        except AllocError:
+            break
+        live.append(extents)
+        assert a.free_bytes + a.used_bytes == a.capacity
+        # no extent overlap
+        spans = sorted(
+            (e.offset, e.offset + e.length) for ext in live for e in ext
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        if i % 3 == 2:  # free oldest to create fragmentation
+            a.free(live.pop(0))
+    for extents in live:
+        a.free(extents)
+    assert a.free_bytes == a.capacity
+    assert a.fragmentation() == 0.0
+
+
+# ---------------------------------------------------------------- kv store
+
+
+def test_kv_put_get_delete():
+    kv = KVStore()
+    kv.put("a", b"1")
+    assert kv.get("a") == b"1"
+    assert "a" in kv
+    kv.delete("a")
+    assert kv.get("a") is None
+    assert len(kv) == 0
+
+
+def test_kv_batch_atomic_and_size():
+    kv = KVStore()
+    batch = WriteBatch().put("x", b"xx").put("y", b"yy").delete("ghost")
+    size = kv.commit(batch)
+    assert size == batch.size_bytes > 0
+    assert kv.get("x") == b"xx"
+    assert kv.batches_committed == 1
+    assert kv.bytes_logged == size
+
+
+def test_kv_overwrite_keeps_single_key():
+    kv = KVStore()
+    kv.put("k", b"1")
+    kv.put("k", b"2")
+    assert kv.get("k") == b"2"
+    assert len(kv) == 1
+
+
+def test_kv_prefix_iteration_ordered():
+    kv = KVStore()
+    for key in ["O/pg1/b", "O/pg1/a", "O/pg2/z", "M/meta"]:
+        kv.put(key, b"")
+    got = [k for k, _ in kv.iterate_prefix("O/pg1/")]
+    assert got == ["O/pg1/a", "O/pg1/b"]
+    assert list(kv.iterate_prefix("ZZZ")) == []
+
+
+def test_kv_delete_missing_is_noop():
+    kv = KVStore()
+    kv.delete("missing")
+    assert len(kv) == 0
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "delete"]),
+                  st.text(min_size=1, max_size=8),
+                  st.binary(max_size=16)),
+        max_size=60,
+    )
+)
+@settings(max_examples=100)
+def test_kv_matches_dict_semantics(ops):
+    kv = KVStore()
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            kv.put(key, value)
+            model[key] = value
+        else:
+            kv.delete(key)
+            model.pop(key, None)
+    assert len(kv) == len(model)
+    for key, value in model.items():
+        assert kv.get(key) == value
+    # full iteration equals sorted model
+    assert [k for k, _ in kv.iterate_prefix("")] == sorted(model)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+
+
+def test_parse_size_units():
+    assert _parse_size("4M") == 4 << 20
+    assert _parse_size("512K") == 512 * 1024
+    assert _parse_size("1G") == 1 << 30
+    assert _parse_size("1048576") == 1 << 20
+    assert _parse_size("0.5M") == 512 * 1024
+    assert _parse_size(" 2m ") == 2 << 20
+
+
+def test_parse_size_rejects_garbage():
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_size("lots")
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_accepts_all_experiments():
+    parser = build_parser()
+    for name in ("fig5", "fig6", "table2", "fig7", "fig8", "table3",
+                 "fig9", "fig10", "all"):
+        args = parser.parse_args([name, "--duration", "5"])
+        assert args.command == name
+        assert args.duration == 5.0
+
+
+def test_bench_command_runs(capsys):
+    code = main(["bench", "--mode", "baseline", "--size", "1M",
+                 "--clients", "2", "--duration", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "iops:" in out
+    assert "host CPU:" in out
+    assert "mode=baseline" in out
+
+
+def test_fig7_command_runs(capsys):
+    code = main(["fig7", "--duration", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fig. 7" in out
+    assert "doceph(paper)" in out

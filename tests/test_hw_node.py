@@ -1,0 +1,70 @@
+"""Tests for node composition (ClusterNode, NetStack)."""
+
+import pytest
+
+from repro.hw import (
+    ClusterNode,
+    CpuComplex,
+    DmaEngine,
+    Network,
+    SsdDevice,
+    TcpStackModel,
+)
+from repro.sim import Environment
+
+
+def make_node(env, with_dpu=False):
+    network = Network(env)
+    host_cpu = CpuComplex(env, "n.host", cores=8)
+    ssd = SsdDevice(env, "n.ssd")
+    kwargs = {}
+    if with_dpu:
+        kwargs["dpu_cpu"] = CpuComplex(env, "n.dpu", cores=16, perf=0.45)
+        kwargs["dma"] = DmaEngine(env, "n.dma")
+    return ClusterNode(env, network, "n", host_cpu, ssd,
+                       nic_bandwidth=100e9, tcp=TcpStackModel(), **kwargs)
+
+
+def test_baseline_node_has_no_dpu():
+    env = Environment()
+    node = make_node(env)
+    assert not node.has_dpu
+    assert node.dma is None
+    with pytest.raises(ValueError):
+        node.dpu_stack()
+
+
+def test_dpu_node_stacks_differ_only_in_cpu():
+    env = Environment()
+    node = make_node(env, with_dpu=True)
+    assert node.has_dpu
+    host = node.host_stack()
+    dpu = node.dpu_stack()
+    # same NIC, same address, same TCP model — only the CPU changes
+    assert host.nic is dpu.nic
+    assert host.address == dpu.address
+    assert host.tcp is dpu.tcp
+    assert host.cpu is not dpu.cpu
+    assert dpu.cpu.perf == pytest.approx(0.45)
+
+
+def test_node_attaches_nic_to_network():
+    env = Environment()
+    network = Network(env)
+    host_cpu = CpuComplex(env, "x.host", cores=2)
+    node = ClusterNode(env, network, "x", host_cpu,
+                       SsdDevice(env, "x.ssd"),
+                       nic_bandwidth=10e9, tcp=TcpStackModel())
+    assert network.nic("x") is node.nic
+
+
+def test_netstack_env_property():
+    env = Environment()
+    node = make_node(env)
+    assert node.host_stack().env is env
+
+
+def test_repr_shows_mode():
+    env = Environment()
+    assert "NIC" in repr(make_node(env))
+    assert "DPU" in repr(make_node(env, with_dpu=True))

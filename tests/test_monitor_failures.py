@@ -1,0 +1,132 @@
+"""Failure-detection and recovery tests: monitor beacons, down/out
+transitions, PG remapping, and continued writes after failover."""
+
+import pytest
+
+from repro.cluster import BENCH_POOL, HardwareProfile, build_baseline_cluster
+from repro.rados import OsdState
+from repro.sim import Environment
+
+
+def make_cluster(nodes=3, replication=2):
+    env = Environment()
+    profile = HardwareProfile(storage_nodes=nodes, replication=replication,
+                              pg_num=32)
+    c = build_baseline_cluster(env, profile)
+    boot = env.process(c.boot())
+    env.run(until=boot)
+    return env, c
+
+
+def silence_osd(cluster, osd_id):
+    """Make an OSD disappear: stop its beacons reaching the monitor by
+    removing the monitor's view of it being refreshed (we simply stop
+    the beacon process by monkey-patching last_beacon ageing is driven
+    by real silence, so interrupt the messenger's beacon loop)."""
+    # The beacon loop is a process named f"osd.{id}.beacon"; easiest
+    # deterministic silencing: drop beacons at the monitor.
+    mon = cluster.mon
+    original = mon.ms_dispatch
+
+    def dropping_dispatch(msg, conn):
+        from repro.msgr import MOSDBeacon
+
+        if isinstance(msg, MOSDBeacon) and msg.osd_id == osd_id:
+            release = getattr(msg, "throttle_release", None)
+            if release is not None:
+                release()
+            if False:
+                yield
+            return
+        yield from original(msg, conn)
+
+    mon.ms_dispatch = dropping_dispatch
+    # re-register so the messenger uses the wrapper
+    mon.messenger.register_dispatcher(mon)
+
+
+def test_monitor_marks_silent_osd_down_then_out():
+    env, c = make_cluster()
+    env.run(until=env.now + 3.0)  # beacons establish
+    silence_osd(c, 0)
+    env.run(until=env.now + c.mon.down_grace + 2.5)
+    assert c.osdmap.osds[0].state == OsdState.DOWN_IN
+    env.run(until=env.now + c.mon.out_interval + 2.0)
+    assert c.osdmap.osds[0].state == OsdState.DOWN_OUT
+
+
+def test_pgs_remap_after_out():
+    env, c = make_cluster(nodes=3)
+    pgs_with_0 = [
+        pgid for pgid in c.osdmap.all_pgs(BENCH_POOL)
+        if 0 in c.osdmap.pg_to_osds(pgid)
+    ]
+    assert pgs_with_0
+    c.osdmap.mark_out(0)
+    for pgid in pgs_with_0:
+        acting = c.osdmap.pg_to_osds(pgid)
+        assert 0 not in acting
+        assert len(acting) == 2  # re-replicated across survivors
+
+
+def test_writes_continue_after_failover():
+    env, c = make_cluster(nodes=3)
+    client = c.client
+
+    def phase1():
+        result = yield from client.write_object(BENCH_POOL, "pre", 1 << 20)
+        return result
+
+    p = env.process(phase1())
+    env.run(until=p)
+    assert p.value.result == 0
+
+    # osd.0 leaves the cluster
+    c.osdmap.mark_out(0)
+
+    def phase2():
+        results = []
+        for i in range(10):
+            r = yield from client.write_object(BENCH_POOL, f"post-{i}",
+                                               1 << 20)
+            results.append(r.result)
+        return results
+
+    p2 = env.process(phase2())
+    env.run(until=p2)
+    assert all(code == 0 for code in p2.value)
+    # nothing landed on the failed OSD's store
+    store0 = c.stores[0]
+    for objects in store0.collections.values():
+        for name in objects:
+            assert not name.startswith("post-")
+
+
+def test_beacon_from_recovered_osd_marks_up():
+    env, c = make_cluster()
+    c.osdmap.mark_down(0)
+    assert c.osdmap.osds[0].state == OsdState.DOWN_IN
+    # the OSD keeps beaconing (it never actually died in this test),
+    # so the monitor brings it back on the next beacon
+    env.run(until=env.now + 2.5)
+    assert c.osdmap.osds[0].state == OsdState.UP_IN
+
+
+def test_three_node_cluster_replicates_across_hosts():
+    env, c = make_cluster(nodes=3, replication=3)
+    client = c.client
+
+    def work():
+        r = yield from client.write_object(BENCH_POOL, "tri", 1 << 20)
+        return r
+
+    p = env.process(work())
+    env.run(until=p)
+    assert p.value.result == 0
+    found = sum(
+        1
+        for store in c.stores
+        for objects in store.collections.values()
+        if "tri" in objects
+    )
+    assert found == 3

@@ -1,0 +1,128 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_time_is_monotone_nondecreasing(delays):
+    """Processing order never runs the clock backwards."""
+    env = Environment()
+    observed = []
+
+    def proc(env, d):
+        yield env.timeout(d)
+        observed.append(env.now)
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=100),
+                       min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_identical_runs_produce_identical_traces(delays):
+    """Bit-for-bit determinism: two runs of the same model match."""
+
+    def run_once():
+        env = Environment()
+        trace = []
+
+        def proc(env, idx, d):
+            yield env.timeout(d)
+            trace.append((env.now, idx))
+            yield env.timeout(d % 7)
+            trace.append((env.now, idx, "again"))
+
+        for i, d in enumerate(delays):
+            env.process(proc(env, i, d))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(st.integers(min_value=1, max_value=20),
+                   min_size=1, max_size=40),
+)
+@settings(max_examples=50)
+def test_resource_never_oversubscribed(capacity, holds):
+    """At no instant do more than ``capacity`` processes hold the resource."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    active = [0]
+    max_active = [0]
+    completions = [0]
+
+    def user(env, hold):
+        with res.request() as req:
+            yield req
+            active[0] += 1
+            max_active[0] = max(max_active[0], active[0])
+            yield env.timeout(hold)
+            active[0] -= 1
+        completions[0] += 1
+
+    for h in holds:
+        env.process(user(env, h))
+    env.run()
+    assert max_active[0] <= capacity
+    assert completions[0] == len(holds)  # nobody starves
+    assert active[0] == 0
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=50)
+def test_store_conserves_and_orders_items(items):
+    """Everything put into a Store comes out exactly once, in FIFO order."""
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            yield env.timeout(1)
+
+    def consumer(env):
+        for _ in items:
+            got = yield store.get()
+            out.append(got)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == items
+
+
+@given(
+    n_users=st.integers(min_value=1, max_value=20),
+    hold=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=30)
+def test_single_server_serializes_work(n_users, hold):
+    """With capacity 1, total elapsed time equals the sum of holds."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    done = []
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+        done.append(env.now)
+
+    for _ in range(n_users):
+        env.process(user(env))
+    env.run()
+    assert done[-1] == n_users * hold

@@ -1,0 +1,377 @@
+"""Unit tests for simulation resources (Resource, Store, Container)."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Environment,
+    FilterStore,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def user(env, name, hold):
+        with res.request() as req:
+            yield req
+            log.append((env.now, name, "got"))
+            yield env.timeout(hold)
+        log.append((env.now, name, "rel"))
+
+    env.process(user(env, "a", 5))
+    env.process(user(env, "b", 5))
+    env.process(user(env, "c", 5))
+    env.run()
+    got = [(t, n) for (t, n, what) in log if what == "got"]
+    assert got == [(0, "a"), (0, "b"), (5, "c")]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    for name in "abcd":
+        env.process(user(env, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_count_and_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def observer(env):
+        yield env.timeout(1)
+        assert res.count == 1
+        r2 = res.request()
+        assert len(res.queue) == 1
+        r2.cancel()
+        assert len(res.queue) == 0
+
+    env.process(holder(env))
+    env.process(observer(env))
+    env.run()
+
+
+def test_resource_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_release_unheld_request_is_error():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc(env):
+        req = res.request()
+        yield req
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_cancelled_request_not_granted():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def canceller(env):
+        yield env.timeout(1)
+        req = res.request()
+        req.cancel()
+        yield env.timeout(10)
+        granted.append(req.triggered)
+
+    env.process(holder(env))
+    env.process(canceller(env))
+    env.run()
+    assert granted == [False]
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def user(env, name, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder(env))
+    env.process(user(env, "low", 10, 1))
+    env.process(user(env, "high", 1, 2))
+    env.process(user(env, "mid", 5, 3))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def user(env, name, delay):
+        yield env.timeout(delay)
+        with res.request(priority=3) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder(env))
+    env.process(user(env, "first", 1))
+    env.process(user(env, "second", 2))
+    env.run()
+    assert order == ["first", "second"]
+
+
+# ---------------------------------------------------------------- Container
+
+
+def test_container_put_get():
+    env = Environment()
+    box = Container(env, capacity=10, init=5)
+    results = []
+
+    def proc(env):
+        yield box.get(3)
+        results.append(box.level)
+        yield box.put(8)
+        results.append(box.level)
+
+    env.process(proc(env))
+    env.run()
+    assert results == [2, 10]
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    box = Container(env, capacity=10, init=0)
+    times = []
+
+    def getter(env):
+        yield box.get(4)
+        times.append(env.now)
+
+    def putter(env):
+        yield env.timeout(3)
+        yield box.put(4)
+
+    env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert times == [3]
+
+
+def test_container_put_blocks_when_full():
+    env = Environment()
+    box = Container(env, capacity=5, init=5)
+    times = []
+
+    def putter(env):
+        yield box.put(2)
+        times.append(env.now)
+
+    def getter(env):
+        yield env.timeout(7)
+        yield box.get(3)
+
+    env.process(putter(env))
+    env.process(getter(env))
+    env.run()
+    assert times == [7]
+
+
+def test_container_invalid_args():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=0)
+    with pytest.raises(SimulationError):
+        Container(env, capacity=5, init=9)
+    box = Container(env, capacity=5)
+    with pytest.raises(SimulationError):
+        box.get(0)
+    with pytest.raises(SimulationError):
+        box.put(-1)
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer(env):
+        for item in "abc":
+            yield store.put(item)
+            yield env.timeout(1)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            out.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert [i for _, i in out] == ["a", "b", "c"]
+
+
+def test_store_get_blocks_on_empty():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env):
+        yield store.get()
+        times.append(env.now)
+
+    def producer(env):
+        yield env.timeout(4)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [4]
+
+
+def test_store_put_blocks_on_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put(1)
+        yield store.put(2)
+        times.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(6)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert times == [6]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env):
+        yield store.put("a")
+        yield store.put("b")
+
+    env.process(proc(env))
+    env.run()
+    assert len(store) == 2
+
+
+def test_filter_store_selects_matching():
+    env = Environment()
+    store = FilterStore(env)
+    out = []
+
+    def producer(env):
+        for item in [1, 2, 3, 4]:
+            yield store.put(item)
+
+    def consumer(env):
+        even = yield store.get(lambda x: x % 2 == 0)
+        out.append(even)
+        any_item = yield store.get()
+        out.append(any_item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == [2, 1]
+
+
+def test_filter_store_waits_for_match():
+    env = Environment()
+    store = FilterStore(env)
+    out = []
+
+    def consumer(env):
+        item = yield store.get(lambda x: x == "wanted")
+        out.append((env.now, item))
+
+    def producer(env):
+        yield store.put("other")
+        yield env.timeout(5)
+        yield store.put("wanted")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert out == [(5, "wanted")]
+    assert list(store.items) == ["other"]
+
+
+def test_filter_store_later_getter_can_match_first():
+    env = Environment()
+    store = FilterStore(env)
+    out = []
+
+    def consumer(env, name, pred):
+        item = yield store.get(pred)
+        out.append((name, item))
+
+    env.process(consumer(env, "picky", lambda x: x > 10))
+    env.process(consumer(env, "easy", lambda x: True))
+
+    def producer(env):
+        yield env.timeout(1)
+        yield store.put(5)
+
+    env.process(producer(env))
+    env.run(until=10)
+    assert out == [("easy", 5)]
