@@ -1,10 +1,11 @@
 """Ablation — fallback/cooldown under injected DMA failures (§4).
 
-With DMA faults injected, the fallback machinery reroutes failed
-segments (and, during the cooldown window, all traffic) over the RPC
-socket, preserving progress at the cost of host CPU — kernel-socket
-copies return to the host exactly while the cooldown is active.  After
-cooldown a probe transfer re-arms DMA.
+With DMA faults injected through the unified :mod:`repro.faults` plan,
+the fallback machinery reroutes failed segments (and, during the
+cooldown window, all traffic) over the RPC socket, preserving progress
+at the cost of host CPU — kernel-socket copies return to the host
+exactly while the cooldown is active.  After cooldown a single probe
+transfer re-arms DMA.
 
 The expected signature is therefore NOT a throughput collapse (the
 fallback is engineered to carry full traffic) but a multi-× host-CPU
@@ -16,7 +17,7 @@ from conftest import BENCH_CLIENTS, publish
 
 from repro.bench import format_table, run_rados_bench
 from repro.cluster import DocephProfile, build_doceph_cluster
-from repro.core import ProxyObjectStore
+from repro.faults import FaultPlan
 from repro.sim import Environment
 
 MB = 1 << 20
@@ -25,18 +26,17 @@ DURATION = 8.0
 
 def run_with(fault_rate: float):
     env = Environment()
-    profile = DocephProfile(dma_fault_rate=fault_rate,
-                            cooldown_seconds=0.5)
-    cluster = build_doceph_cluster(env, profile)
+    profile = DocephProfile(cooldown_seconds=0.5)
+    plan = (FaultPlan.parse(f"dma,p={fault_rate}")
+            if fault_rate > 0 else None)
+    cluster = build_doceph_cluster(env, profile, fault_plan=plan)
     result = run_rados_bench(cluster, object_size=4 * MB,
                              clients=BENCH_CLIENTS, duration=DURATION,
                              warmup=1.5)
-    stores = [o.store for o in cluster.osds
-              if isinstance(o.store, ProxyObjectStore)]
-    failures = sum(s.fallback.failures for s in stores)
-    fallback_segments = sum(s.fallback.fallback_segments for s in stores)
-    probes_ok = sum(s.fallback.probes_succeeded for s in stores)
-    return result, failures, fallback_segments, probes_ok
+    report = result.faults
+    assert report is not None
+    return (result, report.fallback_failures, report.fallback_segments,
+            report.probes_succeeded)
 
 
 def test_ablation_fallback(benchmark, results_dir):
@@ -60,13 +60,19 @@ def test_ablation_fallback(benchmark, results_dir):
               "(DoCeph, 4MB writes)",
     ))
 
-    # Fault-free run never falls back.
+    # Fault-free run never falls back, and its report is all-zero.
     assert f0 == 0 and seg0 == 0
-    # Faulty run: failures happened, fallback carried segments, and
-    # probes re-enabled DMA after cooldowns.
+    assert r0.faults.total_injected == 0
+    # Faulty run: the plan's injection count matches what the DMA layer
+    # observed (every injected error surfaced as an engine failure) ...
+    assert r1.faults.injected.get("dma.error", 0) == r1.faults.dma_failures
+    assert r1.faults.dma_failed_bytes > 0
+    # ... failures happened, fallback carried segments, and probes
+    # re-enabled DMA after cooldowns.
     assert f1 > 0
     assert seg1 > f1  # cooldown reroutes more than just failed segments
     assert p1 > 0
+    assert len(r1.faults.recovery_latencies) == p1
     # The system keeps making progress: throughput stays within a band
     # of the fault-free run (the fallback path is engineered to carry
     # full traffic during cooldowns) ...

@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
 """Robustness demo: DMA faults, fallback, cooldown, and probing (§4).
 
-Injects a burst of DMA failures mid-benchmark and narrates what the
-fallback machinery does: failed segments reroute to the RPC socket,
-cooldown pins all traffic there, a probe transfer re-arms DMA, and —
-the defining cost — host CPU rises exactly while the socket path is
-active.
+Injects a burst of DMA failures mid-benchmark through the unified
+:mod:`repro.faults` plan and narrates what the fallback machinery does:
+failed segments reroute to the RPC socket, cooldown pins all traffic
+there, a single probe transfer re-arms DMA (concurrent writers are
+suppressed from duplicating it), and — the defining cost — host CPU
+rises exactly while the socket path is active.
 
 Run:  python examples/failure_injection.py
 """
 
-from repro.bench import CpuSampler
+from repro.bench import CpuSampler, collect_fault_report
 from repro.cluster import BENCH_POOL, DocephProfile, build_doceph_cluster
+from repro.faults import FaultPlan, FaultSpec
 from repro.sim import Environment
 
 
@@ -23,12 +25,14 @@ def main() -> None:
     env.run(until=boot)
     client = cluster.client
 
-    # Fault window: every DMA transfer between t=4 s and t=5 s fails.
-    fault_window = (env.now + 4.0, env.now + 5.0)
-    for node in cluster.nodes:
-        node.dma.fault_hook = (
-            lambda n: fault_window[0] <= env.now < fault_window[1]
-        )
+    # Fault window: every DMA transfer between t=+4 s and t=+5 s fails.
+    # The window is absolute simulated time, so compute it after boot
+    # and attach the plan post-hoc.  The same plan as a CLI spec:
+    #   --faults "dma,window=<t0+4>-<t0+5>"
+    window = (env.now + 4.0, env.now + 5.0)
+    plan = FaultPlan(seed=0, specs=[FaultSpec(layer="dma", window=window)])
+    plan.attach_cluster(cluster)
+    cluster.fault_plan = plan
 
     sampler = CpuSampler(env, cluster.host_cpus(), period=1.0)
     sampler.start()
@@ -37,7 +41,7 @@ def main() -> None:
 
     def writer(idx: int):
         seq = 0
-        while env.now < fault_window[1] + 5.0:
+        while env.now < window[1] + 5.0:
             yield from client.write_object(
                 BENCH_POOL, f"w{idx}-{seq}", 4 << 20
             )
@@ -60,10 +64,15 @@ def main() -> None:
         print(
             f"  {osd.name}: failures={fb.failures} "
             f"fallback_segments={fb.fallback_segments} "
-            f"probes={fb.probes_succeeded}/{fb.probes_attempted}"
+            f"probes={fb.probes_succeeded}/{fb.probes_attempted} "
+            f"(suppressed {fb.probes_suppressed} duplicate probes)"
         )
+    report = collect_fault_report(cluster)
+    print(f"\nplan injected {report.total_injected} faults "
+          f"({report.injected}); mean recovery "
+          f"{report.mean_recovery_latency:.2f} s after cooldown")
     total_writes = sum(o.client_ops for o in cluster.osds)
-    print(f"\nall {total_writes} writes committed — no request was lost; "
+    print(f"all {total_writes} writes committed — no request was lost; "
           f"the price of the fault window was host CPU, not availability.")
 
 

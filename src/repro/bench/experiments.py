@@ -24,6 +24,7 @@ from ..cluster.config import (
     HUNDRED_GIG,
     HardwareProfile,
 )
+from ..faults import FaultPlan
 from ..msgr.messenger import MSGR_CATEGORY
 from ..objectstore.bluestore import BSTORE_CATEGORY
 from ..osd.daemon import OSD_CATEGORY
@@ -34,6 +35,7 @@ __all__ = [
     "SIZES",
     "MB",
     "ComparisonPoint",
+    "FallbackResult",
     "experiment_fig5",
     "experiment_fig6",
     "experiment_table2",
@@ -42,6 +44,7 @@ __all__ = [
     "experiment_table3",
     "experiment_fig9",
     "experiment_fig10",
+    "experiment_fallback",
     "run_comparison_sweep",
     "PAPER",
 ]
@@ -293,3 +296,74 @@ def experiment_table3(duration: float = 10.0, clients: int = 16) -> list[Table3R
 def experiment_fig9(duration: float = 10.0, clients: int = 16) -> list[Table3Row]:
     """Fig. 9: Table 3 normalized to shares of total latency."""
     return experiment_table3(duration=duration, clients=clients)
+
+
+# --------------------------------------------------------------- §4 robustness
+
+
+@dataclass
+class FallbackResult:
+    """DoCeph under an injected fault plan vs the fault-free run."""
+
+    plan: FaultPlan
+    clean: BenchResult
+    faulty: BenchResult
+
+    @property
+    def iops_retained(self) -> float:
+        """Fraction of fault-free IOPS the faulty run still delivers."""
+        if self.clean.iops <= 0:
+            return 0.0
+        return self.faulty.iops / self.clean.iops
+
+    @property
+    def host_cpu_increase_pct(self) -> float:
+        """Extra host CPU points paid for rerouting bulk data over the
+        kernel-socket fallback path (the §4 robustness cost)."""
+        return (
+            self.faulty.host_utilization_pct
+            - self.clean.host_utilization_pct
+        )
+
+
+def experiment_fallback(
+    faults: str | FaultPlan = "dma,p=0.3",
+    seed: int = 0,
+    object_size: int = 4 * MB,
+    duration: float = 10.0,
+    clients: int = 16,
+    warmup: float = 2.0,
+    cooldown_seconds: float = 0.5,
+    rpc_timeout_seconds: float = 0.5,
+) -> FallbackResult:
+    """§4 robustness: DoCeph with an injected fault plan, against the
+    same configuration fault-free.
+
+    ``faults`` is either a :class:`~repro.faults.FaultPlan` or the
+    textual spec format shared with ``cli.py --faults`` and
+    ``examples/failure_injection.py`` (e.g. ``"dma,p=0.3"``,
+    ``"rpc:reply_loss,p=0.1;net:degrade,window=4-6"``).
+    """
+    plan = (
+        faults if isinstance(faults, FaultPlan)
+        else FaultPlan.parse(faults, seed=seed)
+    )
+    # fast-recovery tuning: a robustness run wants prompt fault
+    # detection, not the conservative production timeout
+    profile = DocephProfile(
+        cooldown_seconds=cooldown_seconds,
+        rpc_timeout_seconds=rpc_timeout_seconds,
+    )
+
+    env_clean = Environment()
+    clean = run_rados_bench(
+        build_doceph_cluster(env_clean, profile), object_size=object_size,
+        clients=clients, duration=duration, warmup=warmup,
+    )
+    env_faulty = Environment()
+    faulty = run_rados_bench(
+        build_doceph_cluster(env_faulty, profile, fault_plan=plan),
+        object_size=object_size, clients=clients, duration=duration,
+        warmup=warmup,
+    )
+    return FallbackResult(plan=plan, clean=clean, faulty=faulty)

@@ -13,7 +13,7 @@ Reproduces the paper's measurement methodology (§5.1/§5.2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from ..hw.cpu import CpuComplex, CpuSnapshot
@@ -26,6 +26,8 @@ __all__ = [
     "CpuWindow",
     "CpuSampler",
     "CATEGORY_LABELS",
+    "FaultReport",
+    "collect_fault_report",
 ]
 
 #: Display labels in the paper's vocabulary.
@@ -116,6 +118,138 @@ class CpuWindow:
             busy_by_category=busy,
             ctx_by_category=ctx,
         )
+
+
+@dataclass
+class FaultReport:
+    """Per-layer fault and recovery counters for one cluster run.
+
+    Aggregated across nodes; ``injected`` / ``injected_bytes`` come from
+    the cluster's :class:`~repro.faults.FaultPlan` (empty when the run
+    was fault-free).  Counters are plain ints/floats so two runs with
+    the same plan seed can be compared for byte-identical equality.
+    """
+
+    # plan-side: what the fault plan injected, keyed "layer.kind"
+    injected: dict[str, int]
+    injected_bytes: dict[str, int]
+    # dma layer
+    dma_failures: int = 0
+    dma_failed_bytes: int = 0
+    # fallback controller (recovery machinery)
+    fallback_failures: int = 0
+    fallback_segments: int = 0
+    probes_attempted: int = 0
+    probes_succeeded: int = 0
+    probes_suppressed: int = 0
+    recovery_latencies: list[float] = field(default_factory=list)
+    # rpc layer
+    rpc_timeouts: int = 0
+    rpc_retries: int = 0
+    rpc_request_losses: int = 0
+    rpc_reply_losses: int = 0
+    rpc_delays: int = 0
+    rpc_duplicates_suppressed: int = 0
+    rpc_errors: int = 0
+    # net layer
+    net_degraded_chunks: int = 0
+    # storage layer
+    storage_io_errors: int = 0
+    storage_failed_bytes: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def mean_recovery_latency(self) -> float:
+        if not self.recovery_latencies:
+            return 0.0
+        return sum(self.recovery_latencies) / len(self.recovery_latencies)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Stable, JSON-friendly form (used by the CLI and for run-to-run
+        reproducibility comparisons)."""
+        return {
+            "injected": dict(sorted(self.injected.items())),
+            "injected_bytes": dict(sorted(self.injected_bytes.items())),
+            "dma": {
+                "failures": self.dma_failures,
+                "failed_bytes": self.dma_failed_bytes,
+            },
+            "fallback": {
+                "failures": self.fallback_failures,
+                "fallback_segments": self.fallback_segments,
+                "probes_attempted": self.probes_attempted,
+                "probes_succeeded": self.probes_succeeded,
+                "probes_suppressed": self.probes_suppressed,
+                "recoveries": len(self.recovery_latencies),
+                "mean_recovery_latency": self.mean_recovery_latency,
+            },
+            "rpc": {
+                "timeouts": self.rpc_timeouts,
+                "retries": self.rpc_retries,
+                "request_losses": self.rpc_request_losses,
+                "reply_losses": self.rpc_reply_losses,
+                "delays": self.rpc_delays,
+                "duplicates_suppressed": self.rpc_duplicates_suppressed,
+                "errors": self.rpc_errors,
+            },
+            "net": {"degraded_chunks": self.net_degraded_chunks},
+            "storage": {
+                "io_errors": self.storage_io_errors,
+                "failed_bytes": self.storage_failed_bytes,
+            },
+        }
+
+
+def collect_fault_report(cluster: Any) -> FaultReport:
+    """Aggregate fault/recovery counters from every layer of ``cluster``."""
+    # local import: repro.core imports nothing from bench, but keep the
+    # bench package importable without the core stack loaded
+    from ..core.proxy_objectstore import ProxyObjectStore
+
+    plan = getattr(cluster, "fault_plan", None)
+    snap = plan.snapshot() if plan is not None else {
+        "injected": {}, "injected_bytes": {},
+    }
+    report = FaultReport(
+        injected=snap["injected"],
+        injected_bytes=snap["injected_bytes"],
+    )
+
+    for node in cluster.nodes:
+        if node.dma is not None:
+            report.dma_failures += node.dma.failures
+            report.dma_failed_bytes += node.dma.failed_bytes
+        ssd = node.ssd
+        report.storage_io_errors += ssd.io_errors
+        report.storage_failed_bytes += ssd.failed_bytes
+        report.net_degraded_chunks += node.nic.tx.degraded_chunks
+        report.net_degraded_chunks += node.nic.rx.degraded_chunks
+
+    for osd in cluster.osds:
+        store = osd.store
+        if isinstance(store, ProxyObjectStore):
+            fb = store.fallback
+            report.fallback_failures += fb.failures
+            report.fallback_segments += fb.fallback_segments
+            report.probes_attempted += fb.probes_attempted
+            report.probes_succeeded += fb.probes_succeeded
+            report.probes_suppressed += fb.probes_suppressed
+            report.recovery_latencies.extend(fb.recovery_latencies)
+
+    for server in getattr(cluster, "proxy_servers", []):
+        rpc = server.rpc
+        report.rpc_timeouts += rpc.timeouts
+        report.rpc_retries += rpc.retries
+        report.rpc_request_losses += rpc.request_losses
+        report.rpc_reply_losses += rpc.reply_losses
+        report.rpc_delays += rpc.delays
+        report.rpc_duplicates_suppressed += rpc.duplicates_suppressed
+        report.rpc_errors += rpc.errors
+
+    return report
 
 
 class CpuSampler:

@@ -11,12 +11,12 @@ bench's built-in instrumentation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from ..cluster.builder import BENCH_POOL, Cluster
 from ..core.proxy_objectstore import ProxyObjectStore, WriteBreakdown
 from ..util.stats import RunningStats, TimeSeries, percentile
-from .metrics import CpuSampler, CpuWindow
+from .metrics import CpuSampler, CpuWindow, FaultReport, collect_fault_report
 
 __all__ = ["BenchResult", "run_rados_bench", "run_read_bench"]
 
@@ -42,6 +42,8 @@ class BenchResult:
     host_cpu: list[CpuWindow] = field(default_factory=list)
     #: DoCeph only: per-write latency breakdowns (Table 3).
     breakdowns: list[WriteBreakdown] = field(default_factory=list)
+    #: Cumulative fault/recovery counters at the end of the run.
+    faults: Optional[FaultReport] = None
 
     @property
     def avg_latency(self) -> float:
@@ -155,6 +157,7 @@ def run_rados_bench(
         ceph_cpu=ceph_windows,
         host_cpu=host_windows,
         breakdowns=breakdowns,
+        faults=collect_fault_report(cluster),
     )
 
 
@@ -240,4 +243,5 @@ def run_read_bench(
         per_second_latency=per_second_lat,
         ceph_cpu=ceph_windows,
         host_cpu=host_windows,
+        faults=collect_fault_report(cluster),
     )

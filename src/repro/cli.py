@@ -5,19 +5,24 @@ Usage::
     python -m repro fig7                   # one experiment
     python -m repro all                    # every table and figure
     python -m repro bench --size 4M --clients 16 --mode doceph
+    python -m repro bench --faults "dma,p=0.3" --fault-seed 7
+    python -m repro faults --plan "rpc:reply_loss,p=0.2" --size 4M
     python -m repro fig8 --duration 20     # longer, steadier runs
 
 Each experiment prints the paper-vs-measured table that the benchmark
-suite also asserts on.
+suite also asserts on.  ``--faults`` takes the spec format of
+``repro.faults`` (``layer[:kind],key=value,...`` joined with ``;``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
 from .bench import (
+    experiment_fallback,
     experiment_fig5,
     experiment_table2,
     experiment_table3,
@@ -33,6 +38,8 @@ from .bench import (
     run_rados_bench,
 )
 from .cluster import build_baseline_cluster, build_doceph_cluster
+from .faults import FaultPlan
+from .hw import StorageError
 from .sim import Environment
 
 __all__ = ["main"]
@@ -105,8 +112,11 @@ def _cmd_all(args: argparse.Namespace) -> str:
 def _cmd_bench(args: argparse.Namespace) -> str:
     builder = (build_doceph_cluster if args.mode == "doceph"
                else build_baseline_cluster)
+    plan = None
+    if args.faults:
+        plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
     env = Environment()
-    cluster = builder(env)
+    cluster = builder(env, fault_plan=plan)
     result = run_rados_bench(
         cluster, object_size=args.size, clients=args.clients,
         duration=args.duration,
@@ -119,6 +129,33 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         f"  avg latency: {result.avg_latency * 1e3:.1f} ms"
         f" (p99 {result.latency_percentile(99) * 1e3:.1f} ms)",
         f"  host CPU:    {result.host_utilization_pct:.1f} %",
+    ]
+    if plan is not None and result.faults is not None:
+        lines.append("  fault report:")
+        lines.append(
+            "    " + json.dumps(result.faults.as_dict(), sort_keys=True)
+        )
+    return "\n".join(lines)
+
+
+def _cmd_faults(args: argparse.Namespace) -> str:
+    """§4 robustness: DoCeph under an injected fault plan vs fault-free."""
+    res = experiment_fallback(
+        faults=args.plan, seed=args.fault_seed, object_size=args.size,
+        duration=args.duration, clients=args.clients,
+    )
+    report = res.faulty.faults
+    assert report is not None
+    lines = [
+        f"fault plan: {args.plan!r} (seed {res.plan.seed})",
+        f"  clean : {res.clean.iops:.1f} IOPS,"
+        f" host CPU {res.clean.host_utilization_pct:.1f} %",
+        f"  faulty: {res.faulty.iops:.1f} IOPS,"
+        f" host CPU {res.faulty.host_utilization_pct:.1f} %",
+        f"  IOPS retained: {100 * res.iops_retained:.1f} %"
+        f"  host CPU +{res.host_cpu_increase_pct:.1f} pts",
+        "  fault report:",
+        "    " + json.dumps(report.as_dict(), sort_keys=True),
     ]
     return "\n".join(lines)
 
@@ -143,17 +180,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="object size (e.g. 4M, 512K)")
     bench.add_argument("--clients", type=int, default=16)
     bench.add_argument("--duration", type=float, default=8.0)
+    bench.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault plan, e.g. 'dma,p=0.3;rpc:reply_loss,"
+                            "nth=5' (see repro.faults)")
+    bench.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault plan's RNG streams")
+
+    faults = sub.add_parser(
+        "faults", help="§4 robustness: run DoCeph under a fault plan and"
+                       " compare against fault-free")
+    faults.add_argument("--plan", default="dma,p=0.3", metavar="SPEC",
+                        help="fault plan spec (see repro.faults)")
+    faults.add_argument("--fault-seed", type=int, default=0)
+    faults.add_argument("--size", type=_parse_size, default=4 << 20)
+    faults.add_argument("--clients", type=int, default=16)
+    faults.add_argument("--duration", type=float, default=8.0)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "all":
-        print(_cmd_all(args))
-    elif args.command == "bench":
-        print(_cmd_bench(args))
-    else:
-        print(_EXPERIMENTS[args.command](args))
+    try:
+        if args.command == "all":
+            print(_cmd_all(args))
+        elif args.command == "bench":
+            print(_cmd_bench(args))
+        elif args.command == "faults":
+            print(_cmd_faults(args))
+        else:
+            print(_EXPERIMENTS[args.command](args))
+    except ValueError as exc:
+        # malformed --faults / --plan spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except StorageError as exc:
+        # Storage faults are fail-stop: BlueStore treats an I/O error as
+        # fatal (like real Ceph's EIO assert), which aborts the run.
+        print(f"simulation aborted: {exc}", file=sys.stderr)
+        print("(storage faults are fail-stop — the affected OSD cannot "
+              "recover; use dma/rpc/net faults for recoverable scenarios)",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -30,6 +30,7 @@ from ..rados.client import RadosClient
 from ..rados.monitor import Monitor
 from ..rados.osdmap import OsdMap
 from ..rados.types import Pool
+from ..faults import FaultPlan, FaultSpec
 from ..sim import Environment
 from .config import DocephProfile, HardwareProfile
 
@@ -57,6 +58,8 @@ class Cluster:
     mode: str = "baseline"
     #: DoCeph only: per-node host proxy servers (RPC + DMA pollers).
     proxy_servers: list[Any] = field(default_factory=list)
+    #: The fault plan attached at build time (None = fault-free run).
+    fault_plan: Optional[FaultPlan] = None
 
     def boot(self) -> Generator[Any, Any, None]:
         """Bring the cluster up: activate PGs, start heartbeats/beacons,
@@ -109,6 +112,26 @@ class Cluster:
         if self.mode == "doceph":
             return self.dpu_cpus()
         return self.host_cpus()
+
+
+def _effective_fault_plan(
+    profile: HardwareProfile, fault_plan: Optional[FaultPlan]
+) -> Optional[FaultPlan]:
+    """Resolve the plan for a build: explicit argument wins, then the
+    profile's ``fault_plan``, then the legacy ``dma_fault_rate``
+    shorthand (converted to a one-spec plan seeded with ``fault_seed``)."""
+    if fault_plan is not None:
+        return fault_plan
+    profile_plan = getattr(profile, "fault_plan", None)
+    if profile_plan is not None:
+        return profile_plan
+    rate = getattr(profile, "dma_fault_rate", 0.0)
+    if rate > 0:
+        return FaultPlan(
+            seed=getattr(profile, "fault_seed", 0),
+            specs=[FaultSpec(layer="dma", probability=rate)],
+        )
+    return None
 
 
 def _make_crush(n_nodes: int) -> CrushMap:
@@ -167,7 +190,9 @@ def _build_client(
 
 
 def build_baseline_cluster(
-    env: Environment, profile: Optional[HardwareProfile] = None
+    env: Environment,
+    profile: Optional[HardwareProfile] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Cluster:
     """The conventional deployment: full Ceph stack on host CPUs,
     BlueField in NIC mode."""
@@ -221,11 +246,16 @@ def build_baseline_cluster(
     cluster.client, cluster.client_cpu = _build_client(
         env, network, directory, profile, "mon0"
     )
+    cluster.fault_plan = _effective_fault_plan(profile, fault_plan)
+    if cluster.fault_plan is not None:
+        cluster.fault_plan.attach_cluster(cluster)
     return cluster
 
 
 def build_doceph_cluster(
-    env: Environment, profile: Optional[DocephProfile] = None
+    env: Environment,
+    profile: Optional[DocephProfile] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Cluster:
     """The paper's architecture: OSD + messenger on the DPU, BlueStore
     (plus the thin proxy server) on the host, RPC/DMA in between."""
@@ -299,4 +329,7 @@ def build_doceph_cluster(
     cluster.client, cluster.client_cpu = _build_client(
         env, network, directory, profile, "mon0"
     )
+    cluster.fault_plan = _effective_fault_plan(profile, fault_plan)
+    if cluster.fault_plan is not None:
+        cluster.fault_plan.attach_cluster(cluster)
     return cluster

@@ -161,6 +161,27 @@ class HardwareProfile:
     """Light-scrub period per OSD in seconds (None disables scrubbing,
     keeping benchmark runs free of background probe noise)."""
 
+    # -- RPC reliability (see repro.core.rpc) -----------------------------------
+    rpc_timeout_seconds: float = 5.0
+    """Per-attempt reply timeout of the DPU↔host RPC; attempt *k* waits
+    ``rpc_timeout_seconds × rpc_backoff_factor^k``.  ``0`` disables the
+    timeout (legacy wait-forever behaviour)."""
+
+    rpc_max_retries: int = 4
+    """Retries after the first attempt before a call fails RpcError."""
+
+    rpc_backoff_factor: float = 2.0
+    """Exponential backoff multiplier between RPC attempts."""
+
+    # -- fault injection (see repro.faults) -------------------------------------
+    fault_seed: int = 0
+    """Seed of the fault plan's RNG streams; the same seed reproduces
+    the exact same fault schedule."""
+
+    fault_plan: object | None = None
+    """Optional :class:`repro.faults.FaultPlan` attached to every layer
+    by the cluster builders.  Takes precedence over ``dma_fault_rate``."""
+
     def with_bandwidth(self, bps: float) -> "HardwareProfile":
         """This profile at a different link speed."""
         return replace(self, net_bandwidth=bps)
@@ -184,4 +205,6 @@ class DocephProfile(HardwareProfile):
     """DMA disable window after a failure."""
 
     dma_fault_rate: float = 0.0
-    """Injected per-transfer failure probability (robustness tests)."""
+    """Injected per-transfer DMA failure probability (robustness tests).
+    Shorthand for a fault plan of ``dma,p=<rate>`` seeded with
+    ``fault_seed``; ignored when ``fault_plan`` is set."""

@@ -214,7 +214,7 @@ class DmaPipeline:
         inflight = []
         for seg in sizes:
             now = self.env.now
-            if self.fallback.probe_due(now):
+            if self.fallback.probe_due(now) and self.fallback.begin_probe(now):
                 yield from self._probe(thread)
             if not self.fallback.dma_allowed(self.env.now):
                 yield from self._segment_via_rpc(seg, thread, timing)
@@ -239,7 +239,7 @@ class DmaPipeline:
     ) -> Generator[Any, Any, None]:
         for seg in sizes:
             now = self.env.now
-            if self.fallback.probe_due(now):
+            if self.fallback.probe_due(now) and self.fallback.begin_probe(now):
                 yield from self._probe(thread)
             if not self.fallback.dma_allowed(self.env.now):
                 yield from self._segment_via_rpc(seg, thread, timing)

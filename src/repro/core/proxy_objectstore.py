@@ -33,7 +33,6 @@ from ..objectstore.api import (
     Transaction,
 )
 from ..util.bufferlist import BufferList, DataBlob
-from ..util.rng import SeededRng
 from .doca import DocaDma
 from .fallback import FallbackController
 from .host_server import HostProxyServer
@@ -137,10 +136,8 @@ class ProxyObjectStore(ObjectStore):
         )
         server.read_pipeline = self.read_pipeline
 
-        fault_rate = getattr(profile, "dma_fault_rate", 0.0)
-        if fault_rate > 0 and node.dma is not None:
-            rng = SeededRng(seed).child(node.name).stream("dma-faults")
-            node.dma.fault_hook = lambda n: rng.random() < fault_rate
+        # DMA fault injection (``profile.dma_fault_rate`` and friends) is
+        # wired by the cluster builder through a repro.faults.FaultPlan.
 
         #: Per-write breakdown records (cleared by the bench harness).
         self.breakdowns: list[WriteBreakdown] = []

@@ -9,6 +9,23 @@ The same channel doubles as the **fallback bulk path**: when DMA is in
 cooldown, request data travels here instead, paying kernel-socket CPU on
 *both* ends — which is exactly why the fallback visibly raises host CPU
 in the ablation benchmarks.
+
+Reliability semantics
+---------------------
+A lost request or reply must never hang the simulation: every call
+carries a **timeout**; on expiry the caller retries with exponential
+backoff (attempt *k* waits ``rpc_timeout_seconds × rpc_backoff_factor^k``)
+up to ``rpc_max_retries`` retries, then fails with :class:`RpcError`.
+Delivery is therefore at-least-once, but the server **deduplicates by
+request id**: a retry of a request whose handler already ran gets the
+recorded outcome replayed instead of a second execution (handlers —
+BlueStore commits, write-buffer releases — are not idempotent), and a
+retry that lands while the original is still executing just re-points
+the eventual reply at the newest attempt.  The retried *transport* still
+pays socket CPU on both ends — which is why fallback traffic under
+faults costs extra CPU.  Request/reply loss and delay are injected
+through the unified :mod:`repro.faults` plan (``rpc:request_loss``,
+``rpc:reply_loss``, ``rpc:delay``).
 """
 
 from __future__ import annotations
@@ -41,7 +58,7 @@ class RpcError(Exception):
 
 @dataclass
 class RpcRequest:
-    """One in-flight RPC."""
+    """One attempt of one in-flight RPC (retries are new attempts)."""
 
     req_id: int
     op: str
@@ -52,6 +69,11 @@ class RpcRequest:
     reply: Any = None
     error: Optional[str] = None
     submitted_at: float = 0.0
+    #: 0 for the first send, 1.. for retries of the same req_id.
+    attempt: int = 0
+    #: Wire size of the reply, recorded when the host sends it, so the
+    #: caller charges the exact receive cost.
+    reply_wire_bytes: int = 0
 
 
 class RpcChannel:
@@ -75,6 +97,9 @@ class RpcChannel:
         self._req_ids = itertools.count(1)
         self._server_queue: Store = Store(self.env)
         self._handlers: dict[str, Callable[..., Generator]] = {}
+        # server-side retry dedup: req_id -> executing attempt / outcome
+        self._inflight: dict[int, RpcRequest] = {}
+        self._done: dict[int, tuple[Any, Optional[str]]] = {}
 
         bw = profile.rpc_socket_bandwidth
         self._to_host = BandwidthPipe(self.env, f"{node.name}.rpc.tx", bw * 8)
@@ -85,10 +110,30 @@ class RpcChannel:
         )
         self.env.process(self._server_loop(), name=f"{node.name}.proxy-rpc")
 
+        # reliability knobs (see module docstring)
+        self.timeout_seconds: float = getattr(
+            profile, "rpc_timeout_seconds", 5.0
+        )
+        self.max_retries: int = getattr(profile, "rpc_max_retries", 4)
+        self.backoff_factor: float = getattr(
+            profile, "rpc_backoff_factor", 2.0
+        )
+
+        #: Optional :class:`~repro.faults.LayerInjector` (layer "rpc")
+        #: injecting request/reply loss and delivery delay.
+        self.fault_injector: Optional[Any] = None
+
         # statistics
         self.calls = 0
         self.bulk_bytes = 0
         self.errors = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.request_losses = 0
+        self.reply_losses = 0
+        self.delays = 0
+        #: Retries the server answered without re-running the handler.
+        self.duplicates_suppressed = 0
 
     def register_handler(
         self, op: str, handler: Callable[..., Generator]
@@ -114,32 +159,87 @@ class RpcChannel:
         ``bulk_bytes`` models request data shipped through the socket
         (the fallback path); it rides the pipe and is charged like any
         socket payload on both CPUs.
+
+        Each attempt waits ``timeout_seconds × backoff_factor^attempt``
+        for the reply; a timed-out attempt is retried (up to
+        ``max_retries`` times) before the call fails with
+        :class:`RpcError`.  Attempts are distinct :class:`RpcRequest`
+        objects sharing one ``req_id``, so a late reply to a superseded
+        attempt triggers only that attempt's stale event.
         """
-        req = RpcRequest(
-            req_id=next(self._req_ids),
-            op=op,
-            payload=payload,
-            bulk_bytes=bulk_bytes,
-            response=self.env.event(),
-            submitted_at=self.env.now,
-        )
+        req_id = next(self._req_ids)
         wire = payload.real_length + bulk_bytes + 32  # header
         tcp = self.profile.tcp
-        yield from thread.charge(tcp.send_cpu(wire))
-        yield from thread.ctx_switch(tcp.send_ctx(wire))
-        yield from self._to_host.transmit(wire)
-        yield self.env.timeout(self.node.pcie_rpc_latency)
-        yield self._server_queue.put(req)
+        attempts = 1 + max(0, self.max_retries)
+        for attempt in range(attempts):
+            req = RpcRequest(
+                req_id=req_id,
+                op=op,
+                payload=payload,
+                bulk_bytes=bulk_bytes,
+                response=self.env.event(),
+                submitted_at=self.env.now,
+                attempt=attempt,
+            )
+            yield from thread.charge(tcp.send_cpu(wire))
+            yield from thread.ctx_switch(tcp.send_ctx(wire))
+            yield from self._to_host.transmit(wire)
+            latency = self.node.pcie_rpc_latency
+            lost = False
+            if self.fault_injector is not None:
+                spec = self.fault_injector.fire(
+                    self.env.now, kind="delay", size=wire
+                )
+                if spec is not None:
+                    latency += spec.delay
+                    self.delays += 1
+                if self.fault_injector.fire(
+                    self.env.now, kind="request_loss", size=wire
+                ):
+                    lost = True
+                    self.request_losses += 1
+            yield self.env.timeout(latency)
+            if not lost:
+                yield self._server_queue.put(req)
 
-        yield req.response
-        self.calls += 1
-        self.bulk_bytes += bulk_bytes
-        if req.error is not None:
-            self.errors += 1
-            raise RpcError(req.error)
-        return req
+            assert req.response is not None
+            if self.timeout_seconds > 0:
+                deadline = self.timeout_seconds * (
+                    self.backoff_factor ** attempt
+                )
+                yield self.env.any_of(
+                    [req.response, self.env.timeout(deadline)]
+                )
+            else:  # timeout disabled: legacy wait-forever behaviour
+                yield req.response
+
+            if req.response.triggered:
+                # Receiving the reply is a kernel socket read on the
+                # caller's complex — charge it, or fallback bulk reads
+                # undercount DPU CPU.
+                reply_wire = req.reply_wire_bytes or 64
+                yield from thread.charge(tcp.recv_cpu(reply_wire))
+                yield from thread.ctx_switch(tcp.recv_ctx(reply_wire))
+                self.calls += 1
+                self.bulk_bytes += bulk_bytes
+                if req.error is not None:
+                    self.errors += 1
+                    raise RpcError(req.error)
+                return req
+
+            self.timeouts += 1
+            if attempt < attempts - 1:
+                self.retries += 1
+        self.errors += 1
+        raise RpcError(
+            f"{op}: no reply for req {req_id} after {attempts} attempts"
+            f" (timeout)"
+        )
 
     # ---------------------------------------------------------------- host side
+    #: Completed-outcome entries kept for retry deduplication.
+    DEDUP_CACHE = 4096
+
     def _server_loop(self) -> Generator[Any, Any, None]:
         """Event-driven listener on the host (§4: 'persistent socket
         listener … effectively acting as an event-driven loop')."""
@@ -150,6 +250,21 @@ class RpcChannel:
             yield from thread.ctx_switch()
             wire = req.payload.real_length + req.bulk_bytes + 32
             yield from thread.charge(tcp.recv_cpu(wire))
+            if req.req_id in self._done:
+                # retry of a completed request: replay the recorded
+                # outcome — handlers must not run twice (commits and
+                # write-buffer releases are not idempotent)
+                req.reply, req.error = self._done[req.req_id]
+                self.duplicates_suppressed += 1
+                yield from self._send_reply(req, thread)
+                continue
+            if req.req_id in self._inflight:
+                # retry while the original is still executing: answer
+                # the newest attempt when that execution completes
+                self._inflight[req.req_id] = req
+                self.duplicates_suppressed += 1
+                continue
+            self._inflight[req.req_id] = req
             handler = self._handlers.get(req.op)
             if handler is None:
                 req.error = f"no handler for op {req.op!r}"
@@ -160,7 +275,19 @@ class RpcChannel:
                     req.error = f"{type(exc).__name__}: {exc}"
             if req.reply is DEFERRED:
                 continue  # the handler owns responding
+            req = self._finalize(req)
             yield from self._send_reply(req, thread)
+
+    def _finalize(self, req: RpcRequest) -> RpcRequest:
+        """Record ``req``'s outcome for dedup and return the newest
+        attempt (a retry may have superseded ``req`` mid-execution)."""
+        latest = self._inflight.pop(req.req_id, req)
+        self._done[req.req_id] = (req.reply, req.error)
+        while len(self._done) > self.DEDUP_CACHE:
+            self._done.pop(next(iter(self._done)))
+        if latest is not req:
+            latest.reply, latest.error = req.reply, req.error
+        return latest
 
     def respond(self, req: RpcRequest) -> None:
         """Complete a DEFERRED request (called by async handlers)."""
@@ -169,6 +296,7 @@ class RpcChannel:
         )
 
     def _deferred_reply(self, req: RpcRequest) -> Generator[Any, Any, None]:
+        req = self._finalize(req)
         yield from self._send_reply(req, self._server_thread)
 
     def _send_reply(
@@ -177,8 +305,16 @@ class RpcChannel:
         # response path (small unless a read returns bulk data)
         reply_bytes = 64 + getattr(req.reply, "length", 0)
         yield from thread.charge(self.profile.tcp.send_cpu(reply_bytes))
+        if self.fault_injector is not None and self.fault_injector.fire(
+            self.env.now, kind="reply_loss", size=reply_bytes
+        ):
+            # The host did the send work, but the reply vanishes on the
+            # wire; the caller's timeout + retry machinery recovers.
+            self.reply_losses += 1
+            return
         yield from self._to_dpu.transmit(reply_bytes)
         yield self.env.timeout(self.node.pcie_rpc_latency)
+        req.reply_wire_bytes = reply_bytes
         assert req.response is not None
         req.response.succeed()
 

@@ -10,7 +10,7 @@ from .cpu import CpuAccounting, CpuComplex, CpuSnapshot, SimThread
 from .dma import DmaEngine, DmaError, MAX_DMA_TRANSFER
 from .net import BandwidthPipe, Network, Nic
 from .node import ClusterNode, NetStack
-from .storage import SsdDevice
+from .storage import SsdDevice, StorageError
 from .tcp import TcpStackModel
 
 __all__ = [
@@ -27,5 +27,6 @@ __all__ = [
     "Nic",
     "SimThread",
     "SsdDevice",
+    "StorageError",
     "TcpStackModel",
 ]

@@ -71,12 +71,17 @@ class DmaEngine:
         #: Optional fault hook: called with the transfer size, returns
         #: True to make this transfer raise :class:`DmaError`.
         self.fault_hook: Optional[Callable[[int], bool]] = None
+        #: Optional :class:`~repro.faults.LayerInjector` (layer "dma")
+        #: consulted per transfer; checked after :attr:`fault_hook`.
+        self.fault_injector: Optional[Any] = None
 
         # statistics
         self.bytes_transferred = 0
         self.transfers = 0
         self.failures = 0
+        self.failed_bytes = 0
         self.busy_time = 0.0
+        self.setup_time = 0.0
         self.wait_time = 0.0
 
     def transfer(
@@ -108,11 +113,20 @@ class DmaEngine:
             yield req
             waited = self.env.now - t_req
             self.wait_time += waited
-            duration = self.setup_latency + extra_setup + nbytes / self.bandwidth
+            setup = self.setup_latency + extra_setup
+            duration = setup + nbytes / self.bandwidth
             yield self.env.timeout(duration)
             self.busy_time += duration
-            if self.fault_hook is not None and self.fault_hook(nbytes):
+            self.setup_time += setup
+            if (self.fault_hook is not None and self.fault_hook(nbytes)) or (
+                self.fault_injector is not None
+                and self.fault_injector.fire(self.env.now, size=nbytes)
+            ):
+                # A failed transfer held the channel just as long as a
+                # successful one; its bytes must stay on the books for
+                # busy-time conservation (busy ≈ setup + bytes/bw).
                 self.failures += 1
+                self.failed_bytes += nbytes
                 raise DmaError(
                     f"{self.name}: transfer of {nbytes} B failed (injected)"
                 )

@@ -17,7 +17,7 @@ experiments resolve, and is documented in DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from ..sim import Environment, Resource
 from ..sim.exceptions import SimulationError
@@ -49,8 +49,13 @@ class BandwidthPipe:
         self.bandwidth_bps = bandwidth_bps
         self.chunk_bytes = chunk_bytes
         self._res = Resource(env, capacity=1)
+        #: Optional :class:`~repro.faults.LayerInjector` (layer "net");
+        #: a hit stretches that chunk's serialization by the spec's
+        #: ``factor`` (link degradation: retransmits, PFC pauses, FEC).
+        self.fault_injector: Optional[Any] = None
         self.bytes_transferred = 0
         self.busy_time = 0.0
+        self.degraded_chunks = 0
 
     def transmit(self, nbytes: int) -> Generator[Any, Any, None]:
         """Stream ``nbytes`` through the pipe (chunked, FIFO-fair)."""
@@ -60,6 +65,11 @@ class BandwidthPipe:
         while remaining > 0:
             chunk = min(remaining, self.chunk_bytes)
             ser = chunk * 8.0 / self.bandwidth_bps
+            if self.fault_injector is not None:
+                spec = self.fault_injector.fire(self.env.now, size=chunk)
+                if spec is not None:
+                    ser *= spec.factor
+                    self.degraded_chunks += 1
             with self._res.request() as req:
                 yield req
                 yield self.env.timeout(ser)

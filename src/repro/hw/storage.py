@@ -9,12 +9,16 @@ latency, and concurrent submitters experience realistic queueing.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from ..sim import Environment, Resource
 from ..sim.exceptions import SimulationError
 
-__all__ = ["SsdDevice"]
+__all__ = ["SsdDevice", "StorageError"]
+
+
+class StorageError(Exception):
+    """An I/O failed at the device (injected media/link error)."""
 
 
 class SsdDevice:
@@ -41,11 +45,18 @@ class SsdDevice:
         self.read_latency = read_latency
         self._chan = Resource(env, capacity=1)
 
+        #: Optional :class:`~repro.faults.LayerInjector` (layer
+        #: "storage"); a hit fails the I/O with :class:`StorageError`
+        #: after the device has been held for the full service time.
+        self.fault_injector: Optional[Any] = None
+
         # statistics
         self.bytes_written = 0
         self.bytes_read = 0
         self.writes = 0
         self.reads = 0
+        self.io_errors = 0
+        self.failed_bytes = 0
         self.busy_time = 0.0
 
     def _io(
@@ -58,6 +69,14 @@ class SsdDevice:
             service = latency + nbytes / bandwidth
             yield self.env.timeout(service)
             self.busy_time += service
+            if self.fault_injector is not None and self.fault_injector.fire(
+                self.env.now, size=nbytes
+            ):
+                self.io_errors += 1
+                self.failed_bytes += nbytes
+                raise StorageError(
+                    f"{self.name}: I/O of {nbytes} B failed (injected)"
+                )
 
     def write(self, nbytes: int) -> Generator[Any, Any, None]:
         """Persist ``nbytes`` (durable once this returns)."""

@@ -1,0 +1,604 @@
+"""Tests for the unified fault-injection subsystem (repro.faults) and
+the recovery machinery it exercises: RPC timeout/retry, the fallback
+probe guard, and per-layer failure accounting.
+
+Seeded tests honour ``REPRO_FAULT_SEED`` (CI runs a small seed matrix);
+every assertion must hold for any seed.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import run_rados_bench
+from repro.cluster import DocephProfile, build_doceph_cluster
+from repro.core import (
+    CommChannel,
+    DocaDma,
+    FallbackController,
+    DmaPipeline,
+    RpcChannel,
+)
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_specs,
+)
+from repro.hw import (
+    BandwidthPipe,
+    ClusterNode,
+    CpuComplex,
+    DmaEngine,
+    DmaError,
+    Network,
+    SimThread,
+    SsdDevice,
+    StorageError,
+)
+from repro.sim import Environment
+from repro.util import BufferList
+
+MB = 1 << 20
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+# --------------------------------------------------------------- spec parsing
+
+
+def test_parse_single_layer_defaults():
+    (spec,) = parse_fault_specs("dma")
+    assert spec.layer == "dma"
+    assert spec.kind == "error"  # layer default kind
+    assert spec.probability == 1.0
+    assert spec.window is None and spec.nth is None and spec.burst == 1
+
+
+def test_parse_full_plan():
+    specs = parse_fault_specs(
+        "dma,p=0.02;rpc:reply_loss,nth=3,burst=2;"
+        "net:degrade,window=4-5,factor=8;storage,nodes=node0|node1"
+    )
+    assert [s.layer for s in specs] == ["dma", "rpc", "net", "storage"]
+    assert specs[0].probability == 0.02
+    assert specs[1].kind == "reply_loss"
+    assert specs[1].nth == 3 and specs[1].burst == 2
+    assert specs[2].window == (4.0, 5.0) and specs[2].factor == 8.0
+    assert specs[3].nodes == ("node0", "node1")
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(ValueError):
+        parse_fault_specs("")
+    with pytest.raises(ValueError):
+        parse_fault_specs("dma,p")  # option without value
+    with pytest.raises(ValueError):
+        parse_fault_specs("dma,window=5")  # window needs start-end
+    with pytest.raises(ValueError):
+        parse_fault_specs("dma,bogus=1")
+    with pytest.raises(ValueError):
+        parse_fault_specs("warp")  # unknown layer
+    with pytest.raises(ValueError):
+        parse_fault_specs("dma:reply_loss")  # kind from another layer
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(layer="dma", probability=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(layer="dma", window=(5.0, 5.0))
+    with pytest.raises(ValueError):
+        FaultSpec(layer="dma", nth=0)
+    with pytest.raises(ValueError):
+        FaultSpec(layer="dma", burst=0)
+    with pytest.raises(ValueError):
+        FaultSpec(layer="net", factor=0.5)
+    for layer, kinds in FAULT_KINDS.items():
+        for kind in kinds:
+            FaultSpec(layer=layer, kind=kind)  # all valid combos build
+
+
+# --------------------------------------------------------------- injector semantics
+
+
+def test_injector_window_gates_firing():
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec(layer="dma", window=(2.0, 4.0)),
+    ])
+    inj = plan.injector("dma", "n")
+    assert inj.fire(1.9) is None
+    assert inj.fire(2.0) is not None  # inclusive start
+    assert inj.fire(3.999) is not None
+    assert inj.fire(4.0) is None  # exclusive end
+    assert plan.injected == {"dma.error": 2}
+
+
+def test_injector_nth_and_burst():
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec(layer="dma", nth=3, burst=2),
+    ])
+    inj = plan.injector("dma", "n")
+    fired = [inj.fire(0.0) is not None for _ in range(6)]
+    # op 3 (nth) and op 4 (burst continuation) fail, nothing else
+    assert fired == [False, False, True, True, False, False]
+    assert plan.injected["dma.error"] == 2
+
+
+def test_injector_kind_filtering():
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec(layer="rpc", kind="reply_loss", nth=1),
+    ])
+    inj = plan.injector("rpc", "n")
+    assert inj.fire(0.0, kind="request_loss") is None
+    assert inj.fire(0.0, kind="reply_loss") is not None
+    assert inj.fire(0.0, kind="reply_loss") is None  # nth already consumed
+
+
+def test_injector_node_scoping():
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec(layer="dma", nodes=("node1",)),
+    ])
+    assert plan.injector("dma", "node0").fire(0.0) is None
+    assert plan.injector("dma", "node1").fire(0.0) is not None
+
+
+def test_plan_determinism_at_injector_level():
+    """Two plans with the same seed and specs fire identically."""
+    mk = lambda: FaultPlan(seed=SEED, specs=[
+        FaultSpec(layer="dma", probability=0.3),
+    ])
+    a, b = mk(), mk()
+    seq_a = [a.injector("dma", "n").fire(0.0) is not None
+             for _ in range(200)]
+    seq_b = [b.injector("dma", "n").fire(0.0) is not None
+             for _ in range(200)]
+    assert seq_a == seq_b
+    assert a.snapshot() == b.snapshot()
+    assert 0 < sum(seq_a) < 200  # p=0.3 actually fires sometimes
+
+
+def test_injector_streams_independent_per_scope():
+    """node0's schedule must not shift when node1 starts firing ops."""
+    plan_a = FaultPlan(seed=SEED, specs=[FaultSpec("dma", probability=0.3)])
+    seq_solo = [plan_a.injector("dma", "node0").fire(0.0) is not None
+                for _ in range(100)]
+    plan_b = FaultPlan(seed=SEED, specs=[FaultSpec("dma", probability=0.3)])
+    inj0 = plan_b.injector("dma", "node0")
+    inj1 = plan_b.injector("dma", "node1")
+    seq_interleaved = []
+    for _ in range(100):
+        inj1.fire(0.0)  # interleave traffic on another node
+        seq_interleaved.append(inj0.fire(0.0) is not None)
+    assert seq_solo == seq_interleaved
+
+
+# --------------------------------------------------------------- hardware layers
+
+
+def test_dma_layer_raises_and_accounts_failed_bytes():
+    env = Environment()
+    dma = DmaEngine(env, "d", bandwidth=1e9, setup_latency=1e-3)
+    plan = FaultPlan(seed=SEED, specs=[FaultSpec("dma", nth=2)])
+    plan.attach_dma(dma, "n")
+
+    def work():
+        yield from dma.transfer(1 * MB)
+        with pytest.raises(DmaError):
+            yield from dma.transfer(1 * MB)
+        yield from dma.transfer(1 * MB)
+
+    p = env.process(work())
+    env.run(until=p)
+    assert dma.failures == 1
+    assert dma.failed_bytes == 1 * MB
+    assert dma.bytes_transferred == 2 * MB
+    assert plan.injected_bytes["dma.error"] == 1 * MB
+
+
+def test_dma_busy_time_conservation_under_faults():
+    """busy_time == setup_time + (transferred + failed) / bandwidth —
+    failed transfers hold the channel exactly as long as clean ones."""
+    env = Environment()
+    bw = 1e9
+    dma = DmaEngine(env, "d", bandwidth=bw, setup_latency=1e-3)
+    plan = FaultPlan(seed=SEED, specs=[FaultSpec("dma", probability=0.5)])
+    plan.attach_dma(dma, "n")
+
+    def work():
+        for _ in range(40):
+            try:
+                yield from dma.transfer(1 * MB)
+            except DmaError:
+                pass
+
+    p = env.process(work())
+    env.run(until=p)
+    assert dma.failures > 0 and dma.transfers > 0  # p=0.5 hit both ways
+    expected = dma.setup_time + (dma.bytes_transferred + dma.failed_bytes) / bw
+    assert dma.busy_time == pytest.approx(expected, rel=1e-9)
+    assert dma.failures + dma.transfers == 40
+    assert dma.bytes_transferred + dma.failed_bytes == 40 * MB
+
+
+def test_storage_layer_raises_storage_error():
+    env = Environment()
+    ssd = SsdDevice(env, "s")
+    plan = FaultPlan(seed=SEED, specs=[FaultSpec("storage", nth=1)])
+    plan.attach_storage(ssd, "n")
+
+    def work():
+        with pytest.raises(StorageError):
+            yield from ssd.write(1 * MB)
+        yield from ssd.write(1 * MB)
+
+    p = env.process(work())
+    env.run(until=p)
+    assert ssd.io_errors == 1
+    assert ssd.failed_bytes == 1 * MB
+    assert ssd.writes == 1  # only the successful write counts
+    assert ssd.bytes_written == 1 * MB
+    assert ssd.busy_time > 0  # the failed I/O still held the device
+
+
+def test_net_degrade_stretches_serialization():
+    def timed_transmit(plan):
+        env = Environment()
+        pipe = BandwidthPipe(env, "p", bandwidth_bps=8e9)
+        if plan is not None:
+            plan.attach_net(
+                type("N", (), {"tx": pipe, "rx": pipe})(), "n"
+            )
+
+        def work():
+            yield from pipe.transmit(4 * MB)
+
+        p = env.process(work())
+        env.run(until=p)
+        return env.now, pipe
+
+    clean_time, _ = timed_transmit(None)
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec("net", kind="degrade", factor=4.0),
+    ])
+    slow_time, pipe = timed_transmit(plan)
+    assert slow_time == pytest.approx(4.0 * clean_time)
+    assert pipe.degraded_chunks == 16  # 4 MB / 256 KB chunks, all hit
+    assert pipe.bytes_transferred == 4 * MB
+
+
+# --------------------------------------------------------------- rpc reliability
+
+
+def make_rpc(env, profile=None):
+    profile = profile or DocephProfile()
+    network = Network(env)
+    host_cpu = CpuComplex(env, "n.host", cores=8)
+    dpu_cpu = CpuComplex(env, "n.dpu", cores=8, perf=0.45)
+    ssd = SsdDevice(env, "n.ssd")
+    dma = DmaEngine(env, "n.dma")
+    node = ClusterNode(
+        env, network, "n", host_cpu, ssd, nic_bandwidth=100e9,
+        tcp=profile.tcp, dpu_cpu=dpu_cpu, dma=dma,
+    )
+    channel = RpcChannel(node, profile)
+
+    def echo(req, t):
+        req.reply = {"ok": True}
+        if False:
+            yield
+
+    channel.register_handler("echo", echo)
+    thread = SimThread(node.dpu_cpu, "caller", "proxy")
+    return node, channel, thread
+
+
+def _one_call(env, channel, thread):
+    def work():
+        req = yield from channel.call("echo", BufferList(), thread)
+        return req.reply
+
+    p = env.process(work())
+    env.run(until=p)
+    return p.value
+
+
+def test_rpc_reply_loss_recovers_via_timeout_and_retry():
+    """A lost reply must not hang the caller: the attempt times out and
+    the retry succeeds (at-least-once handler execution)."""
+    env = Environment()
+    profile = DocephProfile(rpc_timeout_seconds=0.5)
+    node, channel, thread = make_rpc(env, profile)
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec("rpc", kind="reply_loss", nth=1),
+    ])
+    plan.attach_rpc(channel, "n")
+
+    reply = _one_call(env, channel, thread)
+    assert reply == {"ok": True}
+    assert channel.reply_losses == 1
+    assert channel.timeouts == 1
+    assert channel.retries == 1
+    assert channel.calls == 1
+    # the retry was answered from the dedup cache, not re-executed
+    assert channel.duplicates_suppressed == 1
+    assert env.now >= 0.5  # the first attempt's timeout elapsed
+
+
+def test_rpc_request_loss_recovers_and_backs_off():
+    env = Environment()
+    profile = DocephProfile(rpc_timeout_seconds=0.5, rpc_backoff_factor=2.0)
+    node, channel, thread = make_rpc(env, profile)
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec("rpc", kind="request_loss", nth=1, burst=2),
+    ])
+    plan.attach_rpc(channel, "n")
+
+    reply = _one_call(env, channel, thread)
+    assert reply == {"ok": True}
+    assert channel.request_losses == 2
+    assert channel.timeouts == 2
+    assert channel.retries == 2
+    # exponential backoff: attempts waited 0.5 then 1.0 seconds
+    assert env.now >= 0.5 + 1.0
+
+
+def test_rpc_exhausted_retries_raise_instead_of_hanging():
+    from repro.core import RpcError
+
+    env = Environment()
+    profile = DocephProfile(rpc_timeout_seconds=0.25, rpc_max_retries=2)
+    node, channel, thread = make_rpc(env, profile)
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec("rpc", kind="request_loss"),  # p=1: every attempt lost
+    ])
+    plan.attach_rpc(channel, "n")
+
+    def work():
+        with pytest.raises(RpcError, match="no reply"):
+            yield from channel.call("echo", BufferList(), thread)
+
+    p = env.process(work())
+    env.run(until=p)
+    assert channel.timeouts == 3  # initial + 2 retries
+    assert channel.errors == 1
+
+
+def test_rpc_delay_fault_slows_delivery():
+    env = Environment()
+    node, channel, thread = make_rpc(env)
+    base_env = Environment()
+    base_node, base_channel, base_thread = make_rpc(base_env)
+    _one_call(base_env, base_channel, base_thread)
+
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec("rpc", kind="delay", nth=1, delay=0.2),
+    ])
+    plan.attach_rpc(channel, "n")
+    _one_call(env, channel, thread)
+    assert channel.delays == 1
+    assert env.now == pytest.approx(base_env.now + 0.2)
+
+
+def test_rpc_caller_charged_for_reply_receive():
+    """Regression: RpcChannel.call must charge the caller's complex for
+    receiving the reply (kernel socket read), not just for the send."""
+    env = Environment()
+    node, channel, thread = make_rpc(env)
+    tcp = channel.profile.tcp
+    _one_call(env, channel, thread)
+    busy = node.dpu_cpu.accounting.busy_by_category.get("proxy", 0.0)
+    wire = 32  # empty payload + header
+    # send path alone would be less than send + receive; the receive
+    # charge is what the old code dropped.
+    assert busy >= tcp.send_cpu(wire) + tcp.recv_cpu(64)
+    ctx = node.dpu_cpu.accounting.ctx_by_category.get("proxy", 0)
+    assert ctx >= tcp.send_ctx(wire) + tcp.recv_ctx(64)
+
+
+# --------------------------------------------------------------- probe guard
+
+
+def make_pipeline(env, plan=None, cooldown=0.5, dma_kwargs=None):
+    profile = DocephProfile()
+    network = Network(env)
+    host_cpu = CpuComplex(env, "n.host", cores=8)
+    dpu_cpu = CpuComplex(env, "n.dpu", cores=8, perf=0.45)
+    ssd = SsdDevice(env, "n.ssd")
+    dma = DmaEngine(env, "n.dma", **(dma_kwargs or {}))
+    node = ClusterNode(
+        env, network, "n", host_cpu, ssd, nic_bandwidth=100e9,
+        tcp=profile.tcp, dpu_cpu=dpu_cpu, dma=dma,
+    )
+    channel = RpcChannel(node, profile)
+
+    def bulk_handler(req, t):
+        req.reply = {"ok": True}
+        if False:
+            yield
+
+    channel.register_handler("bulk", bulk_handler)
+    if plan is not None:
+        plan.attach_dma(dma, "n")
+    comm = CommChannel(node, profile.comm_channel_negotiate_latency)
+    doca = DocaDma(node, comm, mr_cache_enabled=True)
+    fb = FallbackController(cooldown_seconds=cooldown)
+    stage_thread = SimThread(node.dpu_cpu, "stage", "proxy")
+    pipe = DmaPipeline(
+        env, doca, channel, fb,
+        stage_thread=stage_thread,
+        memcpy_bandwidth=3e9,
+        segment_bytes=2 * MB,
+        n_buffers=4,
+        pipelined=True,
+    )
+    return node, pipe, fb
+
+
+def test_exactly_one_probe_per_expiry_with_8_writers():
+    """All concurrent writers see probe_due() at cooldown expiry, but
+    the guard lets exactly one through; the rest stay on RPC."""
+    env = Environment()
+    # slow DMA setup so the probe window is long enough that other
+    # writers provably arrive while it is in flight
+    plan = FaultPlan(seed=SEED, specs=[FaultSpec("dma", nth=1)])
+    node, pipe, fb = make_pipeline(
+        env, plan, cooldown=0.5,
+        dma_kwargs={"setup_latency": 50e-3, "bandwidth": 1e9},
+    )
+    threads = [SimThread(node.dpu_cpu, f"w{i}", "proxy") for i in range(8)]
+
+    def writer(thread):
+        while env.now < 2.0:
+            yield from pipe.push(2 * MB, thread)
+
+    procs = [env.process(writer(t)) for t in threads]
+    for p in procs:
+        env.run(until=p)
+
+    assert fb.failures == 1  # the nth=1 injected failure
+    # exactly one probe revalidated the path for the one cooldown expiry
+    assert fb.probes_attempted == 1
+    assert fb.probes_succeeded == 1
+    # ... and the guard provably turned concurrent duplicates away
+    assert fb.probes_suppressed >= 1
+    assert len(fb.recovery_latencies) == 1
+    assert fb.recovery_latencies[0] >= 0.5  # at least the cooldown
+
+
+def test_failed_probe_restarts_cooldown_and_later_probe_rearms():
+    env = Environment()
+    # ops: #1 fails (trips cooldown), #2 is the first probe -> fails,
+    # #3 is the second probe -> succeeds
+    plan = FaultPlan(seed=SEED, specs=[FaultSpec("dma", nth=1, burst=2)])
+    node, pipe, fb = make_pipeline(env, plan, cooldown=0.2)
+    thread = SimThread(node.dpu_cpu, "w", "proxy")
+
+    def work():
+        while env.now < 2.0:
+            yield from pipe.push(2 * MB, thread)
+
+    p = env.process(work())
+    env.run(until=p)
+    assert fb.failures == 1
+    assert fb.probes_attempted == 2
+    assert fb.probes_succeeded == 1
+    assert not fb.probe_inflight()
+    # single outage, recovered once, spanning both cooldowns
+    assert len(fb.recovery_latencies) == 1
+    assert fb.recovery_latencies[0] >= 0.4
+
+
+# --------------------------------------------------------------- state machine
+
+
+@given(st.lists(
+    st.sampled_from(["fail", "probe_ok", "probe_fail", "tick"]),
+    max_size=50,
+))
+@settings(max_examples=200, deadline=None)
+def test_fallback_controller_state_machine(ops):
+    """Invariants for any event sequence: DMA never allowed during
+    cooldown or while a probe is owed; the probe slot is exclusive; only
+    a successful probe re-arms DMA."""
+    fb = FallbackController(cooldown_seconds=1.0)
+    now = 0.0
+    for op in ops:
+        now += 0.4
+        if op == "fail":
+            fb.record_failure(now)
+            assert not fb.dma_allowed(now)
+        elif op in ("probe_ok", "probe_fail"):
+            if fb.begin_probe(now):
+                # the slot is exclusive until record_probe releases it
+                assert fb.probe_inflight()
+                assert not fb.begin_probe(now)
+                fb.record_probe(op == "probe_ok", now)
+                assert not fb.probe_inflight()
+                if op == "probe_ok":
+                    assert fb.dma_allowed(now)  # success re-arms
+                else:
+                    assert not fb.dma_allowed(now)  # failure: new cooldown
+        # global invariants
+        if fb.in_cooldown(now):
+            assert not fb.dma_allowed(now)
+            assert not fb.probe_due(now)
+        if fb.probe_due(now):
+            assert not fb.dma_allowed(now)
+        if fb.dma_allowed(now):
+            assert not fb.probe_due(now)
+    assert fb.probes_succeeded <= fb.probes_attempted
+    assert len(fb.recovery_latencies) == fb.probes_succeeded
+
+
+# --------------------------------------------------------------- end to end
+
+
+def _bench_with_plan(plan, duration=4.0, clients=4):
+    env = Environment()
+    profile = DocephProfile(cooldown_seconds=0.5, rpc_timeout_seconds=0.5)
+    cluster = build_doceph_cluster(env, profile, fault_plan=plan)
+    return run_rados_bench(
+        cluster, object_size=1 * MB, clients=clients,
+        duration=duration, warmup=1.0,
+    )
+
+
+def test_e2e_rpc_reply_loss_does_not_stall_the_bench():
+    plan = FaultPlan(seed=SEED, specs=[
+        FaultSpec("rpc", kind="reply_loss", nth=5, burst=2),
+    ])
+    result = _bench_with_plan(plan)
+    assert result.completed_ops > 0
+    report = result.faults
+    # nth/burst fire per node scope: 2 losses on each of the 2 nodes
+    assert report.rpc_reply_losses == 4
+    assert report.injected["rpc.reply_loss"] == 4
+    assert report.rpc_timeouts >= 4
+    assert report.rpc_retries >= 4
+    assert report.rpc_duplicates_suppressed >= 4
+    assert report.rpc_errors == 0  # retries recovered every loss
+
+
+def test_e2e_same_seed_reproduces_bytewise():
+    """The tentpole's acceptance bar: the same plan seed twice yields
+    byte-identical fault counters AND bench metrics."""
+    mk = lambda: FaultPlan(seed=SEED, specs=[
+        FaultSpec("dma", probability=0.2),
+        FaultSpec("rpc", kind="reply_loss", probability=0.02),
+    ])
+    r1 = _bench_with_plan(mk())
+    r2 = _bench_with_plan(mk())
+    assert r1.faults.as_dict() == r2.faults.as_dict()
+    assert r1.faults.total_injected > 0
+    assert r1.completed_ops == r2.completed_ops
+    assert r1.iops == r2.iops
+    assert r1.avg_latency == r2.avg_latency
+    assert r1.latencies == r2.latencies
+    assert r1.host_utilization_pct == r2.host_utilization_pct
+
+
+def test_e2e_dma_fault_rate_shorthand_still_works():
+    """The legacy DocephProfile(dma_fault_rate=...) knob now routes
+    through a FaultPlan built by the cluster builder."""
+    env = Environment()
+    profile = DocephProfile(dma_fault_rate=1.0, cooldown_seconds=0.2)
+    cluster = build_doceph_cluster(env, profile)
+    assert cluster.fault_plan is not None
+    (spec,) = cluster.fault_plan.specs
+    assert spec.layer == "dma" and spec.probability == 1.0
+    for node in cluster.nodes:
+        assert node.dma.fault_injector is not None
+
+
+def test_e2e_fault_free_run_reports_all_zero():
+    result = _bench_with_plan(None, duration=2.0)
+    report = result.faults
+    assert report.total_injected == 0
+    assert report.dma_failures == 0
+    assert report.fallback_segments == 0
+    assert report.rpc_timeouts == 0
+    assert report.storage_io_errors == 0
+    assert report.net_degraded_chunks == 0
