@@ -27,7 +27,9 @@ __all__ = [
     "CpuSampler",
     "CATEGORY_LABELS",
     "FaultReport",
+    "HealthReport",
     "collect_fault_report",
+    "collect_health_report",
 ]
 
 #: Display labels in the paper's vocabulary.
@@ -248,6 +250,179 @@ def collect_fault_report(cluster: Any) -> FaultReport:
         report.rpc_delays += rpc.delays
         report.rpc_duplicates_suppressed += rpc.duplicates_suppressed
         report.rpc_errors += rpc.errors
+
+    return report
+
+
+@dataclass
+class HealthReport:
+    """Cluster-health counters for one run: daemon lifecycle, monitor
+    failure-detection activity, client robustness, and the partition /
+    recovery machinery.  Complements :class:`FaultReport` (which covers
+    the per-layer *injection* counters) with the cluster-level view the
+    chaos experiment judges.
+    """
+
+    # final OSDMap state
+    osds_up: int = 0
+    osds_down: int = 0
+    osds_out: int = 0
+    # PG health (degraded = incomplete acting set or a dirty/absent copy)
+    total_pgs: int = 0
+    degraded_pgs: int = 0
+    # daemon lifecycle
+    osd_crashes: int = 0
+    osd_restarts: int = 0
+    osd_rejoins: int = 0
+    misdirected_ops: int = 0
+    objects_discarded: int = 0
+    # monitor failure detection
+    mon_marked_down: int = 0
+    mon_marked_out: int = 0
+    mon_marked_up: int = 0
+    mon_report_down_events: int = 0
+    # client robustness
+    client_resends: int = 0
+    client_timeouts: int = 0
+    client_map_refetches: int = 0
+    client_ops_failed: int = 0
+    # wire
+    messages_dropped: int = 0
+    partition_drops: int = 0
+    partition_dropped_bytes: int = 0
+    # recovery
+    pulls_sent: int = 0
+    pulls_retried: int = 0
+    pgs_recovered: int = 0
+    objects_recovered: int = 0
+    #: per-incident heal latency (incident end → every PG clean),
+    #: supplied by the chaos controller when one drove the run
+    recovery_to_clean: list[float] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return self.osds_down == 0 and self.degraded_pgs == 0
+
+    @property
+    def mean_recovery_to_clean(self) -> float:
+        if not self.recovery_to_clean:
+            return 0.0
+        return sum(self.recovery_to_clean) / len(self.recovery_to_clean)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Stable, JSON-friendly form (CLI output and replay digests)."""
+        return {
+            "osds": {
+                "up": self.osds_up,
+                "down": self.osds_down,
+                "out": self.osds_out,
+                "crashes": self.osd_crashes,
+                "restarts": self.osd_restarts,
+                "rejoins": self.osd_rejoins,
+                "misdirected_ops": self.misdirected_ops,
+                "objects_discarded": self.objects_discarded,
+            },
+            "pgs": {
+                "total": self.total_pgs,
+                "degraded": self.degraded_pgs,
+            },
+            "monitor": {
+                "marked_down": self.mon_marked_down,
+                "marked_out": self.mon_marked_out,
+                "marked_up": self.mon_marked_up,
+                "report_down_events": self.mon_report_down_events,
+            },
+            "client": {
+                "resends": self.client_resends,
+                "timeouts": self.client_timeouts,
+                "map_refetches": self.client_map_refetches,
+                "ops_failed": self.client_ops_failed,
+            },
+            "wire": {
+                "messages_dropped": self.messages_dropped,
+                "partition_drops": self.partition_drops,
+                "partition_dropped_bytes": self.partition_dropped_bytes,
+            },
+            "recovery": {
+                "pulls_sent": self.pulls_sent,
+                "pulls_retried": self.pulls_retried,
+                "pgs_recovered": self.pgs_recovered,
+                "objects_recovered": self.objects_recovered,
+                "to_clean": [round(t, 9) for t in self.recovery_to_clean],
+                "mean_to_clean": round(self.mean_recovery_to_clean, 9),
+            },
+        }
+
+
+def collect_health_report(
+    cluster: Any, controller: Any = None
+) -> HealthReport:
+    """Aggregate cluster-health counters from every layer of ``cluster``.
+
+    Pass the :class:`~repro.chaos.ChaosController` that drove the run to
+    include per-incident recovery-to-clean latencies.
+    """
+    from ..cluster.builder import BENCH_POOL
+    from ..rados.osdmap import OsdState
+
+    report = HealthReport()
+    osdmap = cluster.osdmap
+    for info in osdmap.osds.values():
+        if info.state == OsdState.UP_IN:
+            report.osds_up += 1
+        elif info.state == OsdState.DOWN_IN:
+            report.osds_down += 1
+        else:
+            report.osds_out += 1
+
+    pool = osdmap.pool_by_name(BENCH_POOL)
+    want = min(pool.size, len(cluster.osds))
+    for pgid in osdmap.all_pgs(BENCH_POOL):
+        report.total_pgs += 1
+        acting = osdmap.pg_to_osds(pgid)
+        degraded = len(acting) < want
+        for osd_id in acting:
+            osd = cluster.osds[osd_id]
+            pg = osd.pgs.get(pgid)
+            if pgid not in osd.member_pgs or (pg and not pg.clean):
+                degraded = True
+        if degraded:
+            report.degraded_pgs += 1
+
+    for osd in cluster.osds:
+        report.osd_crashes += osd.crashes
+        report.osd_restarts += osd.restarts
+        report.osd_rejoins += osd.rejoins
+        report.misdirected_ops += osd.misdirected_ops
+        report.objects_discarded += osd.objects_discarded
+        report.messages_dropped += osd.messenger.messages_dropped
+        if osd.recovery is not None:
+            report.pulls_sent += osd.recovery.pulls_sent
+            report.pulls_retried += osd.recovery.pulls_retried
+            report.pgs_recovered += osd.recovery.pgs_recovered
+            report.objects_recovered += osd.recovery.objects_recovered
+
+    mon = getattr(cluster, "mon", None)
+    if mon is not None:
+        report.mon_marked_down = mon.osds_marked_down
+        report.mon_marked_out = mon.osds_marked_out
+        report.mon_marked_up = mon.osds_marked_up
+        report.mon_report_down_events = mon.report_down_events
+        report.messages_dropped += mon.messenger.messages_dropped
+
+    client = getattr(cluster, "client", None)
+    if client is not None:
+        report.client_resends = client.resends
+        report.client_timeouts = client.timeouts
+        report.client_map_refetches = client.map_refetches
+        report.client_ops_failed = client.ops_failed
+        report.messages_dropped += client.messenger.messages_dropped
+
+    report.partition_drops = cluster.network.partition_drops
+    report.partition_dropped_bytes = cluster.network.partition_dropped_bytes
+
+    if controller is not None:
+        report.recovery_to_clean = list(controller.recovery_to_clean)
 
     return report
 

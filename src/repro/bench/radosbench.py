@@ -16,7 +16,14 @@ from typing import Any, Generator, Optional
 from ..cluster.builder import BENCH_POOL, Cluster
 from ..core.proxy_objectstore import ProxyObjectStore, WriteBreakdown
 from ..util.stats import RunningStats, TimeSeries, percentile
-from .metrics import CpuSampler, CpuWindow, FaultReport, collect_fault_report
+from .metrics import (
+    CpuSampler,
+    CpuWindow,
+    FaultReport,
+    HealthReport,
+    collect_fault_report,
+    collect_health_report,
+)
 
 __all__ = ["BenchResult", "run_rados_bench", "run_read_bench"]
 
@@ -44,6 +51,9 @@ class BenchResult:
     breakdowns: list[WriteBreakdown] = field(default_factory=list)
     #: Cumulative fault/recovery counters at the end of the run.
     faults: Optional[FaultReport] = None
+    #: Cluster-health counters (daemon lifecycle, monitor activity,
+    #: client resends/timeouts, partition drops) at the end of the run.
+    health: Optional[HealthReport] = None
 
     @property
     def avg_latency(self) -> float:
@@ -158,6 +168,7 @@ def run_rados_bench(
         host_cpu=host_windows,
         breakdowns=breakdowns,
         faults=collect_fault_report(cluster),
+        health=collect_health_report(cluster),
     )
 
 
@@ -244,4 +255,5 @@ def run_read_bench(
         ceph_cpu=ceph_windows,
         host_cpu=host_windows,
         faults=collect_fault_report(cluster),
+        health=collect_health_report(cluster),
     )

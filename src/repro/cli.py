@@ -7,6 +7,7 @@ Usage::
     python -m repro bench --size 4M --clients 16 --mode doceph
     python -m repro bench --faults "dma,p=0.3" --fault-seed 7
     python -m repro faults --plan "rpc:reply_loss,p=0.2" --size 4M
+    python -m repro chaos --seeds 0,1,2 --crashes 3 --partitions 1 --replay
     python -m repro fig8 --duration 20     # longer, steadier runs
 
 Each experiment prints the paper-vs-measured table that the benchmark
@@ -160,6 +161,55 @@ def _cmd_faults(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> tuple[str, bool]:
+    """Seeded crash/partition chaos runs + durability verdict.
+
+    Returns (report text, all passed).  With ``--replay`` each seed runs
+    twice and the two fingerprints must match byte-for-byte."""
+    from .chaos import run_chaos
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
+    lines = []
+    ok = True
+    for seed in seeds:
+        runs = 2 if args.replay else 1
+        reports = [
+            run_chaos(
+                mode=args.mode, seed=seed, duration=args.duration,
+                clients=args.clients, object_size=args.size,
+                crashes=args.crashes, partitions=args.partitions,
+            )
+            for _ in range(runs)
+        ]
+        rep = reports[0]
+        fps = [r.fingerprint() for r in reports]
+        replay_ok = len(set(fps)) == 1
+        ok = ok and rep.passed and replay_ok
+        lines += [
+            f"seed {seed}: {'PASS' if rep.passed else 'FAIL'}"
+            f" ({rep.writes_acked} acked, {rep.writes_failed} failed,"
+            f" {len(rep.incidents)} incidents,"
+            f" {len(rep.violations)} violations)",
+            f"  max op latency {rep.max_op_latency:.2f}s"
+            f" (bound {rep.latency_bound:.2f}s),"
+            f" mean recovery-to-clean "
+            f"{sum(rep.recovery_to_clean) / len(rep.recovery_to_clean):.2f}s"
+            if rep.recovery_to_clean else
+            f"  max op latency {rep.max_op_latency:.2f}s"
+            f" (bound {rep.latency_bound:.2f}s)",
+            f"  fingerprint {fps[0]}"
+            + ("" if not args.replay else
+               (" (replay identical)" if replay_ok
+                else f" != replay {fps[1]} — NON-DETERMINISTIC")),
+        ]
+        for v in rep.violations:
+            lines.append(f"  violation: {v}")
+        if args.json:
+            lines.append("  " + json.dumps(rep.as_dict(), sort_keys=True))
+    lines.append("chaos: " + ("all seeds passed" if ok else "FAILED"))
+    return "\n".join(lines), ok
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +245,28 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--size", type=_parse_size, default=4 << 20)
     faults.add_argument("--clients", type=int, default=16)
     faults.add_argument("--duration", type=float, default=8.0)
+
+    chaos = sub.add_parser(
+        "chaos", help="cluster-level chaos: seeded OSD crash/restart and"
+                      " partition schedules + acked-write durability check")
+    chaos.add_argument("--mode", choices=["baseline", "doceph"],
+                       default="baseline")
+    chaos.add_argument("--seeds", default="0", metavar="N[,N...]",
+                       help="comma-separated chaos schedule seeds")
+    chaos.add_argument("--crashes", type=int, default=3,
+                       help="OSD crash/restart incidents per run")
+    chaos.add_argument("--partitions", type=int, default=1,
+                       help="network partition incidents per run")
+    chaos.add_argument("--duration", type=float, default=10.0,
+                       help="write-workload seconds (the run extends "
+                            "until the schedule completes and heals)")
+    chaos.add_argument("--clients", type=int, default=2)
+    chaos.add_argument("--size", type=_parse_size, default=1 << 20)
+    chaos.add_argument("--replay", action="store_true",
+                       help="run each seed twice and require identical "
+                            "fingerprints")
+    chaos.add_argument("--json", action="store_true",
+                       help="also print each report as JSON")
     return parser
 
 
@@ -207,6 +279,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(_cmd_bench(args))
         elif args.command == "faults":
             print(_cmd_faults(args))
+        elif args.command == "chaos":
+            text, ok = _cmd_chaos(args)
+            print(text)
+            if not ok:
+                return 3  # durability violation or non-determinism
         else:
             print(_EXPERIMENTS[args.command](args))
     except ValueError as exc:

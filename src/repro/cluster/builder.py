@@ -70,10 +70,10 @@ class Cluster:
                  for osd in self.osds}
         for osd in self.osds:
             peers = [a for oid, a in addrs.items() if oid != osd.osd_id]
-            osd.start_heartbeats(peers)
+            osd.start_heartbeats(peers, dynamic=True)
             if self.mon is not None:
                 osd.start_mon_beacon(self.mon.address)
-            osd.enable_recovery([BENCH_POOL])
+            osd.enable_recovery([BENCH_POOL], tick=self.profile.recovery_tick)
             if self.profile.scrub_interval is not None:
                 osd.enable_scrub([BENCH_POOL],
                                  interval=self.profile.scrub_interval)
@@ -186,7 +186,25 @@ def _build_client(
         stack, "client", directory, workers=profile.msgr_workers,
         cost=profile.msgr_cost,
     )
-    return RadosClient(messenger, mon_addr), cpu
+    client = RadosClient(
+        messenger, mon_addr,
+        op_timeout=profile.client_op_timeout,
+        max_attempts=profile.client_max_attempts,
+        retry_backoff=profile.client_retry_backoff,
+    )
+    return client, cpu
+
+
+def _build_monitor(
+    messenger: AsyncMessenger, osdmap: OsdMap, profile: HardwareProfile
+) -> Monitor:
+    return Monitor(
+        messenger, osdmap,
+        down_grace=profile.mon_down_grace,
+        out_interval=profile.mon_out_interval,
+        check_period=profile.mon_check_period,
+        failure_reporters=profile.mon_failure_reporters,
+    )
 
 
 def build_baseline_cluster(
@@ -241,7 +259,7 @@ def build_baseline_cluster(
     )
     mon_msgr = AsyncMessenger(mon_stack, "mon.0", directory,
                               workers=1, cost=profile.msgr_cost)
-    cluster.mon = Monitor(mon_msgr, osdmap)
+    cluster.mon = _build_monitor(mon_msgr, osdmap, profile)
 
     cluster.client, cluster.client_cpu = _build_client(
         env, network, directory, profile, "mon0"
@@ -324,7 +342,7 @@ def build_doceph_cluster(
     )
     mon_msgr = AsyncMessenger(mon_stack, "mon.0", directory,
                               workers=1, cost=profile.msgr_cost)
-    cluster.mon = Monitor(mon_msgr, osdmap)
+    cluster.mon = _build_monitor(mon_msgr, osdmap, profile)
 
     cluster.client, cluster.client_cpu = _build_client(
         env, network, directory, profile, "mon0"

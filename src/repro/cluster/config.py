@@ -173,6 +173,34 @@ class HardwareProfile:
     rpc_backoff_factor: float = 2.0
     """Exponential backoff multiplier between RPC attempts."""
 
+    # -- client robustness (see repro.rados.client) ------------------------------
+    client_op_timeout: float | None = None
+    """Per-op client timeout; ``None`` keeps the legacy wait-forever
+    behaviour (and its exact event sequence).  Chaos runs set it so no
+    client op can hang on a dead OSD."""
+
+    client_max_attempts: int = 5
+    """Attempts (first send + resends) before an op fails -ETIMEDOUT."""
+
+    client_retry_backoff: float = 0.5
+    """Backoff before resend attempt *k* is ``backoff × k`` seconds."""
+
+    # -- monitor failure detection (see repro.rados.monitor) ----------------------
+    mon_down_grace: float = 5.0
+    """Beacon silence before an OSD is marked down."""
+
+    mon_out_interval: float = 30.0
+    """Down time before an OSD is marked out (CRUSH reweight 0)."""
+
+    mon_check_period: float = 1.0
+    """Failure-detector sweep period."""
+
+    mon_failure_reporters: int = 2
+    """Distinct heartbeat reporters needed to mark a peer down early."""
+
+    recovery_tick: float = 1.0
+    """Recovery manager detection-loop period per OSD."""
+
     # -- fault injection (see repro.faults) -------------------------------------
     fault_seed: int = 0
     """Seed of the fault plan's RNG streams; the same seed reproduces

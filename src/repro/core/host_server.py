@@ -119,7 +119,8 @@ class HostProxyServer:
         coll, oid = d.decode_str(), d.decode_str()
         self.control_ops += 1
         st = yield from self.store.stat(coll, oid, thread)
-        req.reply = {"size": st.size, "attrs": st.attrs, "version": st.version}
+        req.reply = {"size": st.size, "attrs": st.attrs,
+                     "version": st.version, "content": st.content_id}
 
     def _handle_exists(
         self, req: RpcRequest, thread: SimThread
@@ -170,13 +171,16 @@ class HostProxyServer:
             blob = yield from self.store.read(
                 coll, oid, offset, length, self.exec_thread
             )
+            content = blob.parent_id or 0
             if blob.length and self.read_pipeline is not None:
                 timing = yield from self.read_pipeline.push(
                     blob.length, self.exec_thread
                 )
-                req.reply = {"length": blob.length, "timing": timing}
+                req.reply = {"length": blob.length, "timing": timing,
+                             "content": content}
             else:
-                req.reply = {"length": blob.length, "timing": None}
+                req.reply = {"length": blob.length, "timing": None,
+                             "content": content}
         except NoSuchObject as exc:
             req.error = f"ENOENT: {exc}"
         except Exception as exc:  # noqa: BLE001

@@ -211,7 +211,9 @@ class ProxyObjectStore(ObjectStore):
             if "ENOENT" in str(exc):
                 raise NoSuchObject(f"{coll}/{oid}") from None
             raise StoreError(str(exc)) from None
-        return DataBlob((resp.reply or {}).get("length", 0))
+        reply = resp.reply or {}
+        content = reply.get("content") or None
+        return DataBlob(reply.get("length", 0), parent_id=content)
 
     # ---------------------------------------------------------------- control plane
     def stat(
@@ -219,7 +221,8 @@ class ProxyObjectStore(ObjectStore):
     ) -> Generator[Any, Any, StatResult]:
         reply = yield from self._control("stat", [coll, oid], thread)
         return StatResult(
-            size=reply["size"], attrs=reply["attrs"], version=reply["version"]
+            size=reply["size"], attrs=reply["attrs"], version=reply["version"],
+            content_id=reply.get("content", 0),
         )
 
     def exists(

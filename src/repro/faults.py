@@ -28,8 +28,12 @@ rpc       ``request_loss``, ``reply_loss``,        request/reply vanishes (the
           ``delay``                                caller's timeout + retry
                                                    machinery recovers); delay
                                                    adds ``delay`` seconds
-net       ``degrade``                              chunk serialization slowed
-                                                   by ``factor``×
+net       ``degrade``, ``partition``               degrade: chunk serialization
+                                                   slowed by ``factor``×;
+                                                   partition: every delivery
+                                                   crossing the ``nodes``
+                                                   boundary during ``window``
+                                                   is dropped
 storage   ``error``                                I/O raises ``StorageError``
 ========  =======================================  ==========================
 
@@ -69,7 +73,7 @@ FAULT_LAYERS = ("dma", "rpc", "net", "storage")
 FAULT_KINDS = {
     "dma": ("error",),
     "rpc": ("request_loss", "reply_loss", "delay"),
-    "net": ("degrade",),
+    "net": ("degrade", "partition"),
     "storage": ("error",),
 }
 
@@ -114,6 +118,16 @@ class FaultSpec:
             raise ValueError(f"negative delay: {self.delay}")
         if self.factor < 1.0:
             raise ValueError(f"degrade factor must be >= 1, got {self.factor}")
+        if kind == "partition":
+            if self.window is None:
+                raise ValueError(
+                    "net:partition needs a window=start-end (a sustained "
+                    "link-down interval, not a per-operation trigger)"
+                )
+            if not self.nodes:
+                raise ValueError(
+                    "net:partition needs nodes=a|b (the group to isolate)"
+                )
 
     def active_at(self, now: float) -> bool:
         """Is the spec's time window open at ``now`` (always, if none)?"""
@@ -220,9 +234,12 @@ class FaultPlan:
         key = (layer, scope)
         inj = self._injectors.get(key)
         if inj is None:
+            # partitions are topology-level (Network), not per-NIC; keep
+            # them out of the chunk-granular pipe injectors
             specs = [
                 s for s in self.specs
                 if s.layer == layer and s.applies_to(scope)
+                and s.kind != "partition"
             ]
             rng = self._rng.child(scope).stream(layer)
             inj = self._injectors[key] = LayerInjector(
@@ -247,6 +264,18 @@ class FaultPlan:
     def attach_rpc(self, channel: Any, scope: str) -> None:
         channel.fault_injector = self.injector("rpc", scope)
 
+    def attach_network(self, network: Any) -> None:
+        """Install every ``net:partition`` spec as a sustained link-down
+        window on the fabric (drops are recorded in the plan counters)."""
+        for spec in self.layer_specs("net"):
+            if spec.kind != "partition":
+                continue
+            assert spec.window is not None and spec.nodes is not None
+            network.partition(
+                spec.nodes, spec.window[0], spec.window[1],
+                on_drop=lambda size: self._record("net", "partition", size),
+            )
+
     def attach_cluster(self, cluster: Any) -> None:
         """Wire every layer of an already-built cluster to this plan."""
         for node in cluster.nodes:
@@ -256,6 +285,7 @@ class FaultPlan:
             self.attach_net(node.nic, node.name)
         for server in getattr(cluster, "proxy_servers", []):
             self.attach_rpc(server.rpc, server.node.name)
+        self.attach_network(cluster.network)
 
     # ------------------------------------------------------------- counters
     def _record(self, layer: str, kind: str, size: int) -> None:

@@ -17,12 +17,12 @@ experiments resolve, and is documented in DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from ..sim import Environment, Resource
 from ..sim.exceptions import SimulationError
 
-__all__ = ["BandwidthPipe", "Nic", "Network"]
+__all__ = ["BandwidthPipe", "Nic", "Network", "Partition"]
 
 
 class BandwidthPipe:
@@ -101,6 +101,41 @@ class Nic:
         return f"<Nic {self.name} {self.bandwidth_bps/1e9:.1f} Gbps>"
 
 
+class Partition:
+    """A sustained link-down window isolating ``nodes`` from the rest.
+
+    While ``start <= now < end``, any delivery crossing the partition
+    boundary (exactly one endpoint inside ``nodes``) is dropped.  ``end``
+    may be shrunk later (:meth:`Network.heal_partitions`) to heal early.
+    """
+
+    def __init__(
+        self,
+        nodes: frozenset[str],
+        start: float,
+        end: float,
+        on_drop: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if end < start:
+            raise SimulationError("partition must end after it starts")
+        self.nodes = frozenset(nodes)
+        self.start = start
+        self.end = end
+        self.on_drop = on_drop
+        self.drops = 0
+        self.dropped_bytes = 0
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def severs(self, src: str, dst: str, now: float) -> bool:
+        return self.active(now) and (src in self.nodes) != (dst in self.nodes)
+
+    def __repr__(self) -> str:
+        group = ",".join(sorted(self.nodes))
+        return f"<Partition {{{group}}} [{self.start:.3f}, {self.end:.3f})>"
+
+
 class Network:
     """Star-topology fabric: every NIC connects through a non-blocking
     switch with uniform propagation latency.
@@ -116,6 +151,9 @@ class Network:
         self.env = env
         self.latency_s = latency_s
         self._nics: dict[str, Nic] = {}
+        self._partitions: list[Partition] = []
+        self.partition_drops = 0
+        self.partition_dropped_bytes = 0
 
     def attach(self, address: str, nic: Nic) -> None:
         """Register a NIC under ``address`` (e.g. ``"node0"``)."""
@@ -132,18 +170,57 @@ class Network:
     def addresses(self) -> list[str]:
         return sorted(self._nics)
 
+    def partition(
+        self,
+        nodes: frozenset[str] | set[str] | list[str] | tuple[str, ...],
+        start: float,
+        end: float,
+        on_drop: Optional[Callable[[int], None]] = None,
+    ) -> Partition:
+        """Isolate ``nodes`` from everything else during ``[start, end)``."""
+        part = Partition(frozenset(nodes), start, end, on_drop)
+        self._partitions.append(part)
+        return part
+
+    def heal_partitions(self, now: Optional[float] = None) -> None:
+        """Force every partition to end no later than ``now`` (default:
+        the current sim time)."""
+        cutoff = self.env.now if now is None else now
+        for part in self._partitions:
+            part.end = min(part.end, cutoff)
+
+    def _severed(self, src: str, dst: str, nbytes: int) -> bool:
+        now = self.env.now
+        for part in self._partitions:
+            if part.severs(src, dst, now):
+                part.drops += 1
+                part.dropped_bytes += nbytes
+                self.partition_drops += 1
+                self.partition_dropped_bytes += nbytes
+                if part.on_drop is not None:
+                    part.on_drop(nbytes)
+                return True
+        return False
+
     def deliver(
         self, src: str, dst: str, nbytes: int
-    ) -> Generator[Any, Any, None]:
+    ) -> Generator[Any, Any, bool]:
         """Move ``nbytes`` from ``src`` to ``dst``.
 
         Chunk-level cut-through: each chunk enters the receiver's rx
         pipe as soon as it leaves the sender's tx pipe (plus propagation
         latency), so a message's tx and rx serialization overlap — as
         on a real switched Ethernet.  Completion is the last chunk
-        clearing the rx pipe.  Loopback skips the wire."""
+        clearing the rx pipe.  Loopback skips the wire.
+
+        Returns ``True`` if the payload reached ``dst`` and ``False`` if
+        a :class:`Partition` dropped it.  Drops are checked both when
+        the transfer starts and when it finishes, so a message in flight
+        when a partition opens is lost like a mid-flight packet."""
         if src == dst:
-            return
+            return True
+        if self._severed(src, dst, nbytes):
+            return False
         src_nic = self.nic(src)
         dst_nic = self.nic(dst)
         env = self.env
@@ -163,6 +240,9 @@ class Network:
             remaining -= chunk
         for proc in rx_procs:
             yield proc
+        if self._severed(src, dst, nbytes):
+            return False
+        return True
 
     def __repr__(self) -> str:
         return f"<Network {len(self._nics)} endpoints, {self.latency_s*1e6:.0f} µs>"

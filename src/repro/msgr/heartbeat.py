@@ -2,16 +2,28 @@
 
 Ceph OSDs ping their peers at regular intervals; the paper calls out
 heartbeats as part of the messenger's steady CPU load.  The
-:class:`HeartbeatAgent` generates that background traffic: it pings each
-peer every ``interval`` seconds (with deterministic per-peer phase
-offsets so beats don't synchronize) and tracks last-seen times, which
-the monitor's failure detector consumes.
+:class:`HeartbeatAgent` generates that background traffic and tracks
+last-seen times per peer.
+
+Two modes:
+
+* **static** (``peer_addrs`` given, no ``osdmap``): ping each listed
+  address forever with deterministic per-peer phase offsets — the
+  original fixed-topology behavior, kept for unit tests and ad-hoc
+  wiring;
+* **dynamic** (``osdmap`` + ``whoami`` given): a single loop recomputes
+  the peer set from the OSDMap every ``interval``, so peers marked
+  down/out stop being pinged and rejoining peers are picked up on the
+  next map epoch.  :meth:`failed_peer_ids` reports currently-up peers
+  that have been silent past ``grace``; OSDs fold that list into their
+  monitor beacons so the monitor can mark unreachable peers down early.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable
+from typing import Any, Generator, Iterable, Optional
 
+from ..sim.exceptions import Interrupt
 from .message import MOSDPing
 from .messenger import AsyncMessenger
 
@@ -24,34 +36,92 @@ class HeartbeatAgent:
     def __init__(
         self,
         messenger: AsyncMessenger,
-        peer_addrs: Iterable[str],
+        peer_addrs: Iterable[str] = (),
         interval: float = 1.0,
         grace: float = 4.0,
+        osdmap: Optional[Any] = None,
+        whoami: Optional[int] = None,
     ) -> None:
+        if osdmap is not None and whoami is None:
+            raise ValueError("dynamic heartbeat mode needs whoami")
         self.messenger = messenger
         self.peer_addrs = list(peer_addrs)
         self.interval = interval
         self.grace = grace
+        self.osdmap = osdmap
+        self.whoami = whoami
         self.last_seen: dict[str, float] = {}
         self._tid = 0
-        self._procs = [
-            messenger.env.process(
-                self._beat(addr, phase=0.1 * i / max(1, len(self.peer_addrs))),
-                name=f"hb:{messenger.name}->{addr}",
-            )
-            for i, addr in enumerate(self.peer_addrs)
-        ]
+        #: addr → osd id for the current dynamic peer set.
+        self._peer_ids: dict[str, int] = {}
+        if osdmap is None:
+            self._procs = [
+                messenger.env.process(
+                    self._beat(
+                        addr, phase=0.1 * i / max(1, len(self.peer_addrs))
+                    ),
+                    name=f"hb:{messenger.name}->{addr}",
+                )
+                for i, addr in enumerate(self.peer_addrs)
+            ]
+        else:
+            self._procs = [
+                messenger.env.process(
+                    self._dynamic_loop(), name=f"hb:{messenger.name}"
+                )
+            ]
+
+    def stop(self) -> None:
+        """Halt all ping traffic (daemon crash/shutdown)."""
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("heartbeat stop")
+        self._procs = []
 
     def _beat(self, addr: str, phase: float) -> Generator[Any, Any, None]:
         env = self.messenger.env
-        if phase > 0:
-            yield env.timeout(phase * self.interval)
-        while True:
-            self._tid += 1
-            self.messenger.send_message(
-                MOSDPing(tid=self._tid, stamp=env.now), addr
-            )
-            yield env.timeout(self.interval)
+        try:
+            if phase > 0:
+                yield env.timeout(phase * self.interval)
+            while True:
+                self._tid += 1
+                self.messenger.send_message(
+                    MOSDPing(tid=self._tid, stamp=env.now), addr
+                )
+                yield env.timeout(self.interval)
+        except Interrupt:
+            return
+
+    def _map_peers(self) -> dict[str, int]:
+        """addr → osd id for every *up* OSD in the map except ourselves."""
+        assert self.osdmap is not None
+        peers: dict[str, int] = {}
+        for osd_id in self.osdmap.osds:
+            if osd_id == self.whoami or not self.osdmap.is_up(osd_id):
+                continue
+            peers[self.osdmap.address_of(osd_id)] = osd_id
+        return peers
+
+    def _dynamic_loop(self) -> Generator[Any, Any, None]:
+        env = self.messenger.env
+        try:
+            while True:
+                peers = self._map_peers()
+                now = env.now
+                for addr in sorted(peers):
+                    if addr not in self.last_seen:
+                        # seed on first sight so a just-added peer is not
+                        # instantly reported as failed
+                        self.last_seen[addr] = now
+                    self._tid += 1
+                    self.messenger.send_message(
+                        MOSDPing(tid=self._tid, stamp=now), addr
+                    )
+                self._peer_ids = peers
+                self.peer_addrs = sorted(peers)
+                yield env.timeout(self.interval)
+        except Interrupt:
+            return
 
     # -- called by the owner's dispatcher ---------------------------------
     def handle_ping(self, msg: MOSDPing) -> MOSDPing | None:
@@ -77,3 +147,14 @@ class HeartbeatAgent:
             for addr in self.peer_addrs
             if now - self.last_seen.get(addr, -float("inf")) > self.grace
         ]
+
+    def failed_peer_ids(self, now: float) -> list[int]:
+        """OSD ids of map-up peers silent past ``grace`` (dynamic mode
+        only; static mode has no id mapping and returns ``[]``)."""
+        if self.osdmap is None:
+            return []
+        return sorted(
+            self._peer_ids[addr]
+            for addr in self.stale_peers(now)
+            if addr in self._peer_ids
+        )

@@ -311,21 +311,35 @@ class MOSDPing(Message):
 @_register
 @dataclass
 class MOSDBeacon(Message):
-    """OSD → monitor liveness beacon."""
+    """OSD → monitor liveness beacon.
+
+    ``failed_peers`` carries the ids of heartbeat peers this OSD has not
+    heard from within its grace window; the monitor aggregates reports
+    from multiple OSDs to mark an unreachable peer down before its own
+    beacon grace expires (Ceph's ``MOSDFailure`` path, folded into the
+    beacon for simplicity)."""
 
     TYPE: ClassVar[MessageType] = MessageType.OSD_BEACON
 
     osd_id: int = 0
     map_epoch: int = 0
+    failed_peers: tuple[int, ...] = ()
 
     def _encode_front(self, bl: BufferList) -> None:
         bl.encode_u32(self.osd_id)
         bl.encode_u32(self.map_epoch)
+        bl.encode_u32(len(self.failed_peers))
+        for peer in self.failed_peers:
+            bl.encode_u32(peer)
 
     @classmethod
     def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDBeacon":
-        return cls(src=src, tid=tid, osd_id=d.decode_u32(),
-                   map_epoch=d.decode_u32())
+        osd_id = d.decode_u32()
+        map_epoch = d.decode_u32()
+        count = d.decode_u32()
+        failed = tuple(d.decode_u32() for _ in range(count))
+        return cls(src=src, tid=tid, osd_id=osd_id, map_epoch=map_epoch,
+                   failed_peers=failed)
 
 
 @_register

@@ -30,6 +30,7 @@ from typing import Any, Callable, Generator, Optional, Protocol
 from ..hw.node import NetStack
 from ..hw.cpu import SimThread
 from ..sim import Container, Environment, Store
+from ..sim.exceptions import Interrupt
 from ..util.bufferlist import BufferList
 from .message import Message, decode_message
 
@@ -125,16 +126,25 @@ class Connection:
     def _wire_pump(self) -> Generator[Any, Any, None]:
         """Streams encoded messages through the NIC in FIFO order,
         modelling the kernel socket buffer draining."""
-        env = self.messenger.env
         net = self.messenger.stack.network
         src = self.messenger.stack.address
-        while True:
-            bl, msg, wire_bytes = yield self._wire_queue.get()
-            yield from net.deliver(src, self.peer_addr, wire_bytes)
-            peer = self.messenger.directory.lookup(self.peer_addr)
-            peer._enqueue_incoming(src, bl, msg.attachment, wire_bytes)
-            self.messages_sent += 1
-            self.bytes_sent += wire_bytes
+        try:
+            while True:
+                bl, msg, wire_bytes = yield self._wire_queue.get()
+                delivered = yield from net.deliver(
+                    src, self.peer_addr, wire_bytes
+                )
+                if delivered is False:
+                    # a network partition ate the bytes on the wire
+                    self.messenger.messages_dropped += 1
+                    continue
+                peer = self.messenger.directory.lookup(self.peer_addr)
+                peer._enqueue_incoming(src, bl, msg.attachment, wire_bytes)
+                self.messages_sent += 1
+                self.bytes_sent += wire_bytes
+        except Interrupt:
+            # messenger shutdown: socket buffer discarded with the daemon
+            return
 
     def __repr__(self) -> str:
         return f"<Connection {self.messenger.address} -> {self.peer_addr}>"
@@ -168,6 +178,11 @@ class _Worker:
         thread = self.thread
         while True:
             item = yield self.queue.get()
+            if msgr.down:
+                # daemon is dead: every queued or newly arriving item is
+                # dropped on the floor, like a closed socket
+                msgr.messages_dropped += 1
+                continue
             kind = item[0]
             if kind == "send":
                 _, conn, msg = item
@@ -261,11 +276,16 @@ class AsyncMessenger:
                 stack.env, capacity=throttle_bytes, init=throttle_bytes
             )
 
+        #: ``True`` while the owning daemon is down; set by
+        #: :meth:`shutdown` / cleared by :meth:`startup`.
+        self.down = False
+
         # statistics
         self.messages_sent = 0
         self.messages_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.messages_dropped = 0
 
     @property
     def env(self) -> Environment:
@@ -278,6 +298,28 @@ class AsyncMessenger:
     def register_dispatcher(self, dispatcher: Dispatcher) -> None:
         """Set the entity that receives inbound messages."""
         self.dispatcher = dispatcher
+
+    def shutdown(self) -> None:
+        """Tear down every connection, as when the owning daemon dies.
+
+        Outbound bytes still in wire pumps are lost; queued worker items
+        are drained and dropped; inbound messages are refused until
+        :meth:`startup`.  Idempotent.
+        """
+        if self.down:
+            return
+        self.down = True
+        for conn in self._connections.values():
+            if conn._pump.is_alive:
+                conn._pump.interrupt("messenger shutdown")
+        # old connections (and their wire queues, which may hold stale
+        # waiters) are abandoned; startup() recreates them lazily
+        self._connections.clear()
+
+    def startup(self) -> None:
+        """Accept traffic again after :meth:`shutdown` (fresh
+        connections are created lazily on first use)."""
+        self.down = False
 
     def connect(self, peer_addr: str) -> Connection:
         """Get (or lazily create) the ordered connection to a peer.
@@ -295,6 +337,9 @@ class AsyncMessenger:
 
     def send_message(self, msg: Message, peer_addr: str) -> None:
         """Send ``msg`` to the messenger at ``peer_addr``."""
+        if self.down:
+            self.messages_dropped += 1
+            return
         msg.src = self.address
         self.connect(peer_addr).send(msg)
 
@@ -303,6 +348,10 @@ class AsyncMessenger:
     ) -> None:
         """Called by the sender's wire pump when bytes land in our
         kernel receive buffer: wake the owning worker."""
+        if self.down:
+            # nobody is listening on the socket
+            self.messages_dropped += 1
+            return
         conn = self.connect(src_addr)
         conn.worker.enqueue(("recv", src_addr, bl, attachment, wire))
 

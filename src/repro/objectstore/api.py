@@ -177,6 +177,7 @@ class StatResult:
     size: int
     attrs: int  # number of xattrs
     version: int
+    content_id: int = 0  # virtual-payload fingerprint (see bluestore.Onode)
 
 
 class ObjectStore:

@@ -24,6 +24,7 @@ from ...hw.cpu import CpuComplex, SimThread
 from ...hw.storage import SsdDevice
 from ...sim import Environment, Event, Store
 from ...util.bufferlist import DataBlob
+from ...util.rng import hash_combine
 from ..api import (
     NoSuchObject,
     ObjectStore,
@@ -95,6 +96,12 @@ class Onode:
     omap: dict[str, bytes] = field(default_factory=dict)
     extents: list[Extent] = field(default_factory=list)
     allocated: int = 0  # bytes of device space held
+    content_id: int = 0
+    """Virtual-payload fingerprint: the simulation carries no real bytes,
+    so this stands in for "what data is stored here".  A full overwrite
+    adopts the written blob's root id; partial writes and truncates fold
+    into the running fingerprint.  Replicas holding byte-identical data
+    hold equal (size, content_id) pairs."""
 
 
 @dataclass(frozen=True)
@@ -199,6 +206,11 @@ class BlueStore(ObjectStore):
             self.config.control_cpu + n * self.config.read_cpu_per_byte
         )
         yield from self.ssd.read(n)
+        # the returned blob carries the stored content's identity, so a
+        # full-object read pushed to another replica reproduces the same
+        # content fingerprint there (recovery preserves bytes)
+        if offset == 0 and n == onode.size and onode.content_id:
+            return DataBlob(n, parent_id=onode.content_id)
         return DataBlob(n)
 
     # ---------------------------------------------------------------- control plane
@@ -208,7 +220,8 @@ class BlueStore(ObjectStore):
         yield from thread.charge(self.config.control_cpu)
         onode = self._get_onode(coll, oid)
         return StatResult(size=onode.size, attrs=len(onode.attrs),
-                          version=onode.version)
+                          version=onode.version,
+                          content_id=onode.content_id)
 
     def exists(
         self, coll: str, oid: str, thread: SimThread
@@ -335,6 +348,7 @@ class BlueStore(ObjectStore):
                 onode.version += 1
             elif op.kind == TxnOpKind.WRITE:
                 onode = objects.setdefault(op.oid, Onode())
+                prev_size = onode.size
                 end = op.offset + op.length
                 if end > onode.allocated:
                     grow = end - onode.allocated
@@ -344,10 +358,22 @@ class BlueStore(ObjectStore):
                     new_extents.extend(extents)
                 onode.size = max(onode.size, end)
                 onode.version += 1
+                root = op.data.root_id if op.data is not None else 0
+                if op.offset == 0 and end >= prev_size:
+                    # full overwrite: the object *is* this blob now
+                    onode.content_id = root
+                else:
+                    onode.content_id = hash_combine(
+                        onode.content_id,
+                        f"w:{op.offset}:{op.length}:{root}",
+                    )
             elif op.kind == TxnOpKind.TRUNCATE:
                 onode = objects.setdefault(op.oid, Onode())
                 onode.size = op.length
                 onode.version += 1
+                onode.content_id = hash_combine(
+                    onode.content_id, f"t:{op.length}"
+                )
             elif op.kind == TxnOpKind.REMOVE:
                 onode = objects.pop(op.oid, None)
                 if onode is None:

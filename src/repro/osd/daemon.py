@@ -46,6 +46,7 @@ from ..objectstore.api import NoSuchObject, ObjectStore, StoreError, Transaction
 from ..rados.osdmap import OsdMap
 from ..rados.types import PgId
 from ..sim import AllOf, Event
+from ..sim.exceptions import Interrupt
 from .optracker import OpTracker
 from .opqueue import (
     CLIENT_OP,
@@ -132,8 +133,10 @@ class OsdDaemon:
         self._completion_thread = SimThread(
             cpu, f"{self.name}.tp_osd_tp-complete", OSD_CATEGORY
         )
-        for i, t in enumerate(self._op_threads):
+        self._op_procs = [
             self.env.process(self._op_loop(t), name=f"{self.name}.tp_osd_tp-{i}")
+            for i, t in enumerate(self._op_threads)
+        ]
 
         self._repop_tid = 0
         self._inflight: dict[int, _InFlightWrite] = {}
@@ -142,11 +145,30 @@ class OsdDaemon:
         self.scrub: Optional[ScrubManager] = None
         self.tracker: Optional[OpTracker] = None
 
+        # lifecycle: crash() flips alive and bumps incarnation so that
+        # completions spawned before the crash cannot speak for the
+        # restarted daemon
+        self.alive = True
+        self.incarnation = 0
+        self._beacon_proc: Optional[Any] = None
+        self._beacon_cfg: Optional[tuple[str, float]] = None
+        self._hb_cfg: Optional[dict[str, Any]] = None
+        self._recovery_cfg: Optional[tuple[list[str], float]] = None
+        self._scrub_cfg: Optional[tuple[list[str], float]] = None
+        #: set once the daemon has resynced after being marked down, so
+        #: a partition-rejoin (no crash) also discards its stale copies
+        self._down_handled = True
+
         # statistics
         self.client_ops = 0
         self.repops = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        self.crashes = 0
+        self.restarts = 0
+        self.rejoins = 0
+        self.misdirected_ops = 0
+        self.objects_discarded = 0
 
     # ---------------------------------------------------------------- lifecycle
     def activate_pgs(self, pool_name: str) -> Generator[Any, Any, None]:
@@ -163,15 +185,31 @@ class OsdDaemon:
         if txn.num_ops:
             yield from self.store.queue_transaction(txn, self._op_threads[0])
 
-    def start_heartbeats(self, peer_addrs: list[str]) -> None:
-        """Begin pinging the given peer OSD addresses."""
+    def start_heartbeats(
+        self,
+        peer_addrs: Optional[list[str]] = None,
+        dynamic: bool = False,
+    ) -> None:
+        """Begin pinging peer OSDs.
+
+        With ``dynamic=True`` the agent recomputes its peer set from the
+        shared OSDMap each interval (peers marked down stop being
+        pinged; unreachable-but-up peers are reported in beacons);
+        otherwise the given static address list is pinged forever.
+        """
+        self._hb_cfg = {"peer_addrs": peer_addrs, "dynamic": dynamic}
         self.heartbeat = HeartbeatAgent(
-            self.messenger, peer_addrs, interval=self.config.heartbeat_interval
+            self.messenger,
+            peer_addrs or [],
+            interval=self.config.heartbeat_interval,
+            osdmap=self.osdmap if dynamic else None,
+            whoami=self.osd_id if dynamic else None,
         )
 
     def start_mon_beacon(self, mon_addr: str, interval: float = 1.0) -> None:
         """Begin sending liveness beacons to the monitor."""
-        self.env.process(
+        self._beacon_cfg = (mon_addr, interval)
+        self._beacon_proc = self.env.process(
             self._beacon_loop(mon_addr, interval), name=f"{self.name}.beacon"
         )
 
@@ -179,24 +217,138 @@ class OsdDaemon:
         self, mon_addr: str, interval: float
     ) -> Generator[Any, Any, None]:
         tid = 0
-        while True:
-            tid += 1
-            self.messenger.send_message(
-                MOSDBeacon(tid=tid, osd_id=self.osd_id,
-                           map_epoch=self.osdmap.epoch),
-                mon_addr,
-            )
-            yield self.env.timeout(interval)
+        try:
+            while True:
+                up = self.osdmap.is_up(self.osd_id)
+                if up:
+                    self._down_handled = False
+                elif not self._down_handled:
+                    # marked down while still running (partition, false
+                    # positive): other OSDs may have taken over our PGs,
+                    # so discard stale copies before rejoining — exactly
+                    # what a restart does, minus the process teardown
+                    self._down_handled = True
+                    self.rejoins += 1
+                    yield from self._resync_store()
+                failed: tuple[int, ...] = ()
+                if self.heartbeat is not None:
+                    failed = tuple(
+                        self.heartbeat.failed_peer_ids(self.env.now)
+                    )
+                tid += 1
+                self.messenger.send_message(
+                    MOSDBeacon(tid=tid, osd_id=self.osd_id,
+                               map_epoch=self.osdmap.epoch,
+                               failed_peers=failed),
+                    mon_addr,
+                )
+                yield self.env.timeout(interval)
+        except Interrupt:
+            return
 
     def enable_recovery(self, pool_names: list[str],
                         tick: float = 1.0) -> None:
         """Start the background recovery manager."""
+        self._recovery_cfg = (list(pool_names), tick)
         self.recovery = RecoveryManager(self, pool_names, tick=tick)
 
     def enable_scrub(self, pool_names: list[str],
                      interval: float = 20.0) -> None:
         """Start periodic light scrubbing of the PGs this OSD leads."""
+        self._scrub_cfg = (list(pool_names), interval)
         self.scrub = ScrubManager(self, pool_names, interval=interval)
+
+    # ---------------------------------------------------------------- crash
+    def crash(self) -> None:
+        """Kill the daemon: all sim processes stop, in-flight ops and
+        connections drop, un-acked state is forgotten.  The ObjectStore
+        survives (it is the disk).  Idempotent while down."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.incarnation += 1
+        self.messenger.shutdown()
+        for proc in self._op_procs:
+            if proc.is_alive:
+                proc.interrupt("osd crash")
+        self._op_procs = []
+        if self._beacon_proc is not None and self._beacon_proc.is_alive:
+            self._beacon_proc.interrupt("osd crash")
+        self._beacon_proc = None
+        if self.heartbeat is not None:
+            self.heartbeat.stop()
+            self.heartbeat = None
+        if self.recovery is not None:
+            self.recovery.stop()
+            self.recovery = None
+        if self.scrub is not None:
+            self.scrub.stop()
+            self.scrub = None
+        # anything queued dies with the daemon; the old queue may hold
+        # stale waiters from the interrupted loops, so replace it
+        self._inflight.clear()
+        self.pgs.clear()
+        self._op_queue = WeightedPriorityQueue(
+            self.env, seed=self.osd_id + (self.incarnation << 16)
+        )
+
+    def restart(self) -> Generator[Any, Any, None]:
+        """Boot the daemon again on its surviving ObjectStore.
+
+        Stale PG copies (PGs that now have other up members) are
+        discarded *before* the messenger comes back, so no traffic can
+        interleave with the resync; recovery then re-pulls them and the
+        next beacon re-registers us with the monitor."""
+        if self.alive:
+            return
+        self.restarts += 1
+        yield from self._resync_store()
+        self._down_handled = True
+        self._op_procs = [
+            self.env.process(self._op_loop(t), name=f"{self.name}.tp_osd_tp-{i}")
+            for i, t in enumerate(self._op_threads)
+        ]
+        self.messenger.startup()
+        self.alive = True
+        if self._hb_cfg is not None:
+            self.start_heartbeats(**self._hb_cfg)
+        if self._recovery_cfg is not None:
+            self.enable_recovery(*self._recovery_cfg)
+        if self._scrub_cfg is not None:
+            self.enable_scrub(*self._scrub_cfg)
+        if self._beacon_cfg is not None:
+            self.start_mon_beacon(*self._beacon_cfg)
+
+    def _resync_store(self) -> Generator[Any, Any, None]:
+        """Discard local copies of PGs that other up OSDs now serve.
+
+        Our copy may miss writes acked while we were gone; the acting
+        set's copy is authoritative, and recovery will re-pull the whole
+        PG.  A PG whose acting set is empty (or just us) keeps its data —
+        we are its only surviving holder."""
+        thread = self._completion_thread
+        for pgid in sorted(self.member_pgs,
+                           key=lambda p: (p.pool, p.seed)):
+            acting = self.osdmap.pg_to_osds(pgid)
+            if not any(o != self.osd_id for o in acting):
+                continue
+            coll = str(pgid)
+            try:
+                names = yield from self.store.list_objects(coll, thread)
+            except StoreError:
+                names = []
+            if names:
+                txn = Transaction()
+                for name in names:
+                    txn.remove(coll, name)
+                try:
+                    yield from self.store.queue_transaction(txn, thread)
+                except StoreError:
+                    pass
+                self.objects_discarded += len(names)
+            self.member_pgs.discard(pgid)
+            self.pgs.pop(pgid, None)
 
     def enable_op_tracking(self, history_size: int = 256) -> OpTracker:
         """Turn on per-op stage tracing (Ceph's dump_historic_ops)."""
@@ -264,6 +416,12 @@ class OsdDaemon:
 
     # ---------------------------------------------------------------- op loop
     def _op_loop(self, thread: SimThread) -> Generator[Any, Any, None]:
+        try:
+            yield from self._op_loop_body(thread)
+        except Interrupt:
+            return
+
+    def _op_loop_body(self, thread: SimThread) -> Generator[Any, Any, None]:
         while True:
             msg = yield self._op_queue.dequeue()
             yield from thread.ctx_switch()
@@ -299,6 +457,22 @@ class OsdDaemon:
                 else:
                     _release(msg)
 
+    def _misdirected(self, msg: MOSDOp, pgid: PgId) -> bool:
+        """Drop a client op we are not the current primary for.
+
+        A daemon the monitor has marked down may still be processing
+        queued ops against a map that excludes it; replicating to
+        ``acting[1:]`` of *that* map and acking would lose the write
+        when this daemon later resyncs.  Dropping without a reply lets
+        the client's timeout resend to the real primary (Ceph's
+        misdirected-op discard)."""
+        acting = self.osdmap.pg_to_osds(pgid)
+        if not self.alive or not acting or acting[0] != self.osd_id:
+            self.misdirected_ops += 1
+            _release(msg)
+            return True
+        return False
+
     # -- client write (primary) ------------------------------------------------
     def _handle_client_write(
         self, msg: MOSDOp, thread: SimThread
@@ -306,6 +480,8 @@ class OsdDaemon:
         yield from thread.charge(self.config.op_cpu)
         _mark(msg, self.env.now, "reached_pg")
         pgid = self.osdmap.object_to_pg(msg.pool, msg.object_name)
+        if self._misdirected(msg, pgid):
+            return
         pg = self.refresh_pg(pgid)
         assert msg.data is not None, "WRITE op without payload"
 
@@ -356,6 +532,7 @@ class OsdDaemon:
         repop_tid: int,
     ) -> Generator[Any, Any, None]:
         thread = self._completion_thread
+        inc = self.incarnation
         _mark(msg, self.env.now, "queued_transaction")
         local = self.env.process(
             self.store.queue_transaction(txn, thread),
@@ -366,6 +543,11 @@ class OsdDaemon:
             yield AllOf(self.env, [local, *inflight.ack_events])
         except StoreError:
             result = -22  # -EINVAL
+        if self.incarnation != inc or not self.alive:
+            # the daemon died while this write was in flight: never ack
+            # on behalf of a later incarnation (the client will resend)
+            _release(msg)
+            return
         _mark(msg, self.env.now, "commit_received")
         self._inflight.pop(repop_tid, None)
         yield from thread.charge(self.config.reply_cpu)
@@ -382,6 +564,8 @@ class OsdDaemon:
     ) -> Generator[Any, Any, None]:
         yield from thread.charge(self.config.op_cpu)
         pgid = self.osdmap.object_to_pg(msg.pool, msg.object_name)
+        if self._misdirected(msg, pgid):
+            return
         pg = self.refresh_pg(pgid)
         pg.record_read(msg.length)
         self.client_ops += 1
@@ -394,6 +578,7 @@ class OsdDaemon:
         self, msg: MOSDOp, pg: PlacementGroup
     ) -> Generator[Any, Any, None]:
         thread = self._completion_thread
+        inc = self.incarnation
         try:
             blob = yield from self.store.read(
                 pg.collection, msg.object_name, msg.offset, msg.length, thread
@@ -401,6 +586,9 @@ class OsdDaemon:
             reply = MOSDOpReply(tid=msg.tid, result=0, data=blob)
         except NoSuchObject:
             reply = MOSDOpReply(tid=msg.tid, result=-2)  # -ENOENT
+        if self.incarnation != inc or not self.alive:
+            _release(msg)
+            return
         yield from thread.charge(self.config.reply_cpu)
         self.messenger.send_message(reply, msg.src)
         _release(msg)
@@ -411,7 +599,10 @@ class OsdDaemon:
     ) -> Generator[Any, Any, None]:
         yield from thread.charge(self.config.op_cpu)
         pgid = self.osdmap.object_to_pg(msg.pool, msg.object_name)
+        if self._misdirected(msg, pgid):
+            return
         pg = self.refresh_pg(pgid)
+        inc = self.incarnation
 
         def work() -> Generator[Any, Any, None]:
             t = self._completion_thread
@@ -423,6 +614,9 @@ class OsdDaemon:
                 reply.attachment = st
             except NoSuchObject:
                 reply = MOSDOpReply(tid=msg.tid, result=-2)
+            if self.incarnation != inc or not self.alive:
+                _release(msg)
+                return
             yield from t.charge(self.config.reply_cpu)
             self.messenger.send_message(reply, msg.src)
             _release(msg)
@@ -435,6 +629,8 @@ class OsdDaemon:
     ) -> Generator[Any, Any, None]:
         yield from thread.charge(self.config.op_cpu)
         pgid = self.osdmap.object_to_pg(msg.pool, msg.object_name)
+        if self._misdirected(msg, pgid):
+            return
         pg = self.refresh_pg(pgid)
         txn = Transaction().remove(pg.collection, msg.object_name)
         inflight = _InFlightWrite(len(pg.replicas), self.env)
@@ -482,11 +678,17 @@ class OsdDaemon:
         self, msg: MOSDRepOp, txn: Transaction
     ) -> Generator[Any, Any, None]:
         thread = self._completion_thread
+        inc = self.incarnation
         result = 0
         try:
             yield from self.store.queue_transaction(txn, thread)
         except StoreError:
             result = -22  # -EINVAL
+        if self.incarnation != inc or not self.alive:
+            # committed to disk pre-crash, but the daemon that promised
+            # the ack is gone; the primary stalls and the client resends
+            _release(msg)
+            return
         self.messenger.send_message(
             MOSDRepOpReply(tid=msg.tid, result=result), msg.src
         )

@@ -22,6 +22,7 @@ from ..msgr.message import MOSDPGPull, MOSDPGPush, MOSDPGPushReply
 from ..objectstore.api import StoreError, Transaction
 from ..rados.types import PgId
 from ..sim import Event
+from ..sim.exceptions import Interrupt
 
 if TYPE_CHECKING:
     from .daemon import OsdDaemon
@@ -46,19 +47,27 @@ class RecoveryManager:
         pool_names: list[str],
         tick: float = 1.0,
         max_push_inflight: int = 2,
+        pull_timeout: float | None = None,
     ) -> None:
         self.osd = osd
         self.env = osd.env
         self.pool_names = pool_names
         self.tick = tick
         self.max_push_inflight = max_push_inflight
+        #: re-issue a pull whose stream stalls this long (pusher died or
+        #: a partition ate the pull/push messages)
+        self.pull_timeout = (
+            max(5.0, 5.0 * tick) if pull_timeout is None else pull_timeout
+        )
 
-        self._pulling: set[PgId] = set()
+        self._pulling: dict[PgId, float] = {}  # pgid -> pull start time
+        self._pull_attempts: dict[PgId, int] = {}
         self._tid = 0
         self._windows: dict[int, _PushWindow] = {}  # push tid -> window
 
         # statistics
         self.pulls_sent = 0
+        self.pulls_retried = 0
         self.pushes_sent = 0
         self.objects_recovered = 0
         self.bytes_recovered = 0
@@ -68,31 +77,48 @@ class RecoveryManager:
             self._tick_loop(), name=f"{osd.name}.recovery"
         )
 
+    def stop(self) -> None:
+        """Halt the detection loop (daemon crash/shutdown)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("recovery stop")
+        self._proc = None
+
     # ---------------------------------------------------------------- detection
     def _tick_loop(self) -> Generator[Any, Any, None]:
-        while True:
-            yield self.env.timeout(self.tick)
-            for pool in self.pool_names:
-                for pgid in self.osd.osdmap.all_pgs(pool):
-                    self._check_pg(pool, pgid)
+        try:
+            while True:
+                yield self.env.timeout(self.tick)
+                for pool in self.pool_names:
+                    for pgid in self.osd.osdmap.all_pgs(pool):
+                        self._check_pg(pool, pgid)
+        except Interrupt:
+            return
 
     def _check_pg(self, pool: str, pgid: PgId) -> None:
         osdmap = self.osd.osdmap
         acting = osdmap.pg_to_osds(pgid)
         if self.osd.osd_id not in acting:
             return
-        if pgid in self.osd.member_pgs or pgid in self._pulling:
+        if pgid in self.osd.member_pgs:
             return
+        started = self._pulling.get(pgid)
+        if started is not None:
+            if self.env.now - started < self.pull_timeout:
+                return
+            self.pulls_retried += 1  # stalled: re-issue below
         # Newly acquired PG: pull from any other acting member (after a
         # single failure, the surviving members all hold the data).
         sources = [o for o in acting if o != self.osd.osd_id]
         if not sources:
             self.osd.member_pgs.add(pgid)  # sole member: nothing to pull
             self.osd.refresh_pg(pgid)
+            self._pulling.pop(pgid, None)
             return
-        self._pulling.add(pgid)
+        attempt = self._pull_attempts.get(pgid, 0)
+        self._pull_attempts[pgid] = attempt + 1
+        self._pulling[pgid] = self.env.now
         self.env.process(
-            self._start_pull(pool, pgid, sources[0]),
+            self._start_pull(pool, pgid, sources[attempt % len(sources)]),
             name=f"{self.osd.name}.pull.{pgid.seed:x}",
         )
 
@@ -180,15 +206,24 @@ class RecoveryManager:
         coll = str(pgid)
         thread = osd._completion_thread
         if msg.data is not None:
-            txn = Transaction().write(
-                coll, msg.object_name, 0, msg.length, msg.data
-            )
+            # a client write that landed here after the pull started is
+            # newer than the pushed copy — never clobber it
             try:
-                yield from osd.store.queue_transaction(txn, thread)
-                self.objects_recovered += 1
-                self.bytes_recovered += msg.length
+                have = yield from osd.store.exists(
+                    coll, msg.object_name, thread
+                )
             except StoreError:
-                pass
+                have = False
+            if not have:
+                txn = Transaction().write(
+                    coll, msg.object_name, 0, msg.length, msg.data
+                )
+                try:
+                    yield from osd.store.queue_transaction(txn, thread)
+                    self.objects_recovered += 1
+                    self.bytes_recovered += msg.length
+                except StoreError:
+                    pass
         osd.messenger.send_message(
             MOSDPGPushReply(tid=msg.tid, pg_seed=msg.pg_seed), msg.src
         )
@@ -197,7 +232,8 @@ class RecoveryManager:
             if pg is not None:
                 pg.clean = True
             osd.member_pgs.add(pgid)
-            self._pulling.discard(pgid)
+            self._pulling.pop(pgid, None)
+            self._pull_attempts.pop(pgid, None)
             self.pgs_recovered += 1
         release = getattr(msg, "throttle_release", None)
         if release is not None:

@@ -15,6 +15,7 @@ from ..msgr.message import MScrubDigest, MScrubReply
 from ..objectstore.api import NoSuchObject, StoreError
 from ..rados.types import PgId
 from ..sim import Event
+from ..sim.exceptions import Interrupt
 from ..util.rjenkins import crush_hash32_2, ceph_str_hash_rjenkins
 
 if TYPE_CHECKING:
@@ -63,15 +64,24 @@ class ScrubManager:
                     out.append(pgid)
         return out
 
+    def stop(self) -> None:
+        """Halt the scrub loop (daemon crash/shutdown)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("scrub stop")
+        self._proc = None
+
     def _loop(self) -> Generator[Any, Any, None]:
-        while True:
-            yield self.env.timeout(self.interval)
-            pgs = self._primary_pgs()
-            if not pgs:
-                continue
-            pgid = pgs[self._cursor % len(pgs)]
-            self._cursor += 1
-            yield from self._scrub_pg(pgid)
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                pgs = self._primary_pgs()
+                if not pgs:
+                    continue
+                pgid = pgs[self._cursor % len(pgs)]
+                self._cursor += 1
+                yield from self._scrub_pg(pgid)
+        except Interrupt:
+            return
 
     def _scrub_pg(self, pgid: PgId) -> Generator[Any, Any, None]:
         osd = self.osd

@@ -5,6 +5,15 @@ stack), fetches the OSDMap from the monitor at boot, computes object
 placement locally (CRUSH runs client-side in RADOS — there is no
 metadata server on the data path), and issues ops directly to primary
 OSDs.  Replies are matched to callers by transaction id.
+
+Robustness (``op_timeout`` set): each attempt races its reply against a
+timeout; on expiry the client re-fetches the OSDMap, recomputes the
+primary from the (possibly remapped) PG, and resends the *same*
+operation — writes resend the same payload blob, so resends are
+idempotent.  After ``max_attempts`` the op fails with ``-ETIMEDOUT``
+(-110) instead of hanging.  With ``op_timeout=None`` (default) the
+original wait-forever behavior — and its exact event sequence — is
+preserved.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from ..msgr.message import (
     OpType,
 )
 from ..msgr.messenger import AsyncMessenger, Connection
-from ..sim import Event
+from ..sim import AnyOf, Event
 from ..util.bufferlist import DataBlob
 from .osdmap import OsdMap
 
@@ -83,11 +92,21 @@ class RadosClient:
     """One client endpoint (the RADOS bench tool spawns many I/O
     contexts on top of a single client)."""
 
-    def __init__(self, messenger: AsyncMessenger, mon_addr: str) -> None:
+    def __init__(
+        self,
+        messenger: AsyncMessenger,
+        mon_addr: str,
+        op_timeout: Optional[float] = None,
+        max_attempts: int = 5,
+        retry_backoff: float = 0.5,
+    ) -> None:
         self.messenger = messenger
         self.mon_addr = mon_addr
         self.env = messenger.env
         self.osdmap: Optional[OsdMap] = None
+        self.op_timeout = op_timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
         self._pending: dict[int, Event] = {}
         self._sent_at: dict[int, float] = {}
         self._tid = 0
@@ -97,27 +116,65 @@ class RadosClient:
         self.ops_completed = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        self.resends = 0
+        self.timeouts = 0
+        self.map_refetches = 0
+        self.ops_failed = 0
 
     # ---------------------------------------------------------------- boot
     def boot(self) -> Generator[Any, Any, None]:
         """Fetch the cluster map from the monitor."""
-        tid = self._next_tid()
-        ev = self.env.event()
-        self._pending[tid] = ev
-        self._sent_at[tid] = self.env.now
-        self.messenger.send_message(MMonGetMap(tid=tid), self.mon_addr)
-        reply: MMonMapReply = yield ev
+        attempt = 0
+        while True:
+            attempt += 1
+            tid = self._next_tid()
+            ev = self.env.event()
+            self._pending[tid] = ev
+            self._sent_at[tid] = self.env.now
+            self.messenger.send_message(MMonGetMap(tid=tid), self.mon_addr)
+            reply = yield from self._await_reply(tid, ev)
+            if reply is not None:
+                break
+            self.timeouts += 1
+            if attempt >= self.max_attempts:
+                raise RadosError(-110, "monitor map fetch timed out")
+            yield self.env.timeout(self.retry_backoff * attempt)
         self.osdmap = reply.attachment
         if self.osdmap is None:
             raise RadosError(-5, "monitor returned no map")
 
+    def _await_reply(
+        self, tid: int, ev: Event
+    ) -> Generator[Any, Any, Optional[Message]]:
+        """Wait for ``ev`` (the reply), bounded by ``op_timeout`` when
+        set.  Returns ``None`` on timeout (pending state cleaned up)."""
+        if self.op_timeout is None:
+            reply = yield ev
+            return reply
+        timeout_ev = self.env.timeout(self.op_timeout)
+        yield AnyOf(self.env, [ev, timeout_ev])
+        if ev.triggered:
+            return ev.value
+        self._pending.pop(tid, None)
+        self._sent_at.pop(tid, None)
+        return None
+
     # ---------------------------------------------------------------- ops
     def write_object(
-        self, pool: str, oid: str, size: int, offset: int = 0
+        self,
+        pool: str,
+        oid: str,
+        size: int,
+        offset: int = 0,
+        data: Optional[DataBlob] = None,
     ) -> Generator[Any, Any, OpResult]:
-        """Write ``size`` bytes; resumes when the cluster acks durability."""
+        """Write ``size`` bytes; resumes when the cluster acks durability.
+
+        Pass ``data`` to control the payload blob's identity (the chaos
+        harness records it to verify content after heal)."""
         res = yield from self._do_op(
-            pool, oid, OpType.WRITE, size, offset, DataBlob(size)
+            pool, oid, OpType.WRITE, size, offset,
+            data if data is not None else DataBlob(size),
         )
         self.bytes_written += size
         return res
@@ -153,22 +210,51 @@ class RadosClient:
     ) -> Generator[Any, Any, OpResult]:
         if self.osdmap is None:
             raise RadosError(-107, "client not booted")
-        pgid = self.osdmap.object_to_pg(pool, oid)
-        primary = self.osdmap.pg_primary(pgid)
-        tid = self._next_tid()
-        ev = self.env.event()
-        self._pending[tid] = ev
         t0 = self.env.now
-        self._sent_at[tid] = t0
-        self.messenger.send_message(
-            MOSDOp(
-                tid=tid, pool=pool, object_name=oid, op=op,
-                length=size, offset=offset, data=data,
-                map_epoch=self.osdmap.epoch,
-            ),
-            self.osdmap.address_of(primary),
-        )
-        reply: MOSDOpReply = yield ev
+        attempt = 0
+        while True:
+            attempt += 1
+            pgid = self.osdmap.object_to_pg(pool, oid)
+            try:
+                primary = self.osdmap.pg_primary(pgid)
+            except ValueError:
+                # no up OSD serves this PG right now; wait for the map
+                # to heal and retry (bounded like any other attempt)
+                if self.op_timeout is None or attempt >= self.max_attempts:
+                    self.ops_failed += 1
+                    raise RadosError(
+                        -110, f"{op.name} {pool}/{oid}: no acting set"
+                    ) from None
+                yield self.env.timeout(self.retry_backoff * attempt)
+                yield from self._refetch_map()
+                continue
+            tid = self._next_tid()
+            ev = self.env.event()
+            self._pending[tid] = ev
+            self._sent_at[tid] = self.env.now
+            if attempt > 1:
+                self.resends += 1
+            self.messenger.send_message(
+                MOSDOp(
+                    tid=tid, pool=pool, object_name=oid, op=op,
+                    length=size, offset=offset, data=data,
+                    map_epoch=self.osdmap.epoch,
+                ),
+                self.osdmap.address_of(primary),
+            )
+            reply = yield from self._await_reply(tid, ev)
+            if reply is not None:
+                break
+            self.timeouts += 1
+            if attempt >= self.max_attempts:
+                self.ops_failed += 1
+                raise RadosError(
+                    -110,
+                    f"{op.name} {pool}/{oid}: timed out after "
+                    f"{attempt} attempts",
+                )
+            yield from self._refetch_map()
+            yield self.env.timeout(self.retry_backoff * attempt)
         latency = self.env.now - t0
         self.ops_completed += 1
         # -ENOENT on stat/read is an answer, not a failure; everything
@@ -181,6 +267,28 @@ class RadosClient:
             data=reply.data, version=reply.version,
             attachment=reply.attachment,
         )
+
+    def _refetch_map(self) -> Generator[Any, Any, bool]:
+        """Best-effort OSDMap refresh before a resend (epoch staleness).
+
+        Single bounded attempt; on timeout the op retry proceeds with
+        the map it has (map contents propagate by shared reference, so
+        the fetch mostly exercises the wire + monitor liveness)."""
+        tid = self._next_tid()
+        ev = self.env.event()
+        self._pending[tid] = ev
+        self._sent_at[tid] = self.env.now
+        self.messenger.send_message(MMonGetMap(
+            tid=tid,
+            have_epoch=self.osdmap.epoch if self.osdmap else 0,
+        ), self.mon_addr)
+        reply = yield from self._await_reply(tid, ev)
+        if reply is None:
+            return False
+        self.map_refetches += 1
+        if reply.attachment is not None:
+            self.osdmap = reply.attachment
+        return True
 
     # ---------------------------------------------------------------- aio
     def aio_write(

@@ -98,7 +98,14 @@ def test_spec_validation():
         FaultSpec(layer="net", factor=0.5)
     for layer, kinds in FAULT_KINDS.items():
         for kind in kinds:
-            FaultSpec(layer=layer, kind=kind)  # all valid combos build
+            if kind == "partition":
+                # partitions are sustained windows between node groups
+                FaultSpec(layer=layer, kind=kind, window=(1.0, 2.0),
+                          nodes=("node0",))
+                with pytest.raises(ValueError):
+                    FaultSpec(layer=layer, kind=kind)  # needs window+nodes
+            else:
+                FaultSpec(layer=layer, kind=kind)  # all valid combos build
 
 
 # --------------------------------------------------------------- injector semantics
