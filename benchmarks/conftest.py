@@ -5,16 +5,18 @@ The Fig. 7/8/9/10 and Table 3 benches all consume one comparison sweep
 it process-wide, so whichever bench runs first pays the simulation cost.
 
 Rendered paper-vs-measured tables are written to
-``benchmarks/results/*.txt`` and echoed to stdout.
+``benchmarks/results/*.txt`` and echoed to stdout; machine-readable
+results go to ``benchmarks/results/BENCH_<name>.json``.
 """
 
 from __future__ import annotations
 
 import pathlib
+from typing import Any, Optional
 
 import pytest
 
-from repro.bench import run_comparison_sweep
+from repro.bench import run_comparison_sweep, write_bench_json
 
 #: One knob for all benches: simulated seconds of measured workload.
 BENCH_DURATION = 8.0
@@ -36,7 +38,11 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
-    """Write a rendered table to results/ and echo it."""
+def publish(results_dir: pathlib.Path, name: str, text: str,
+            payload: Optional[dict[str, Any]] = None) -> None:
+    """Write a rendered table to results/ and echo it; when ``payload``
+    is given, also write the BENCH_<name>.json machine-readable form."""
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    if payload is not None:
+        write_bench_json(name, payload, results_dir)
     print("\n" + text)

@@ -8,12 +8,13 @@ CPU.
 
 from conftest import publish
 
-from repro.bench import render_fig10
+from repro.bench import comparison_point_dict, render_fig10
 
 
 def test_fig10_iops(benchmark, sweep, results_dir):
     points = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
-    publish(results_dir, "fig10_iops", render_fig10(points))
+    publish(results_dir, "fig10_iops", render_fig10(points),
+            {"points": [comparison_point_dict(p) for p in points]})
 
     gaps = []
     for p in points:

@@ -11,7 +11,7 @@ Paper claims reproduced here:
 
 from conftest import BENCH_CLIENTS, BENCH_DURATION, publish
 
-from repro.bench import experiment_fig5, render_fig5
+from repro.bench import experiment_fig5, fig5_row_dict, render_fig5
 
 
 def test_fig5_cpu_breakdown(benchmark, results_dir):
@@ -20,7 +20,8 @@ def test_fig5_cpu_breakdown(benchmark, results_dir):
                                 clients=BENCH_CLIENTS),
         rounds=1, iterations=1,
     )
-    publish(results_dir, "fig5_cpu_breakdown", render_fig5(rows))
+    publish(results_dir, "fig5_cpu_breakdown", render_fig5(rows),
+            {"rows": [fig5_row_dict(r) for r in rows]})
 
     by_label = {r.label: r for r in rows}
     # Messenger dominates at BOTH speeds (paper: 81.05 % / 82.48 %).

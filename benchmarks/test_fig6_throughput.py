@@ -7,7 +7,7 @@ caps throughput, while at 100 G the storage path saturates first.
 
 from conftest import BENCH_CLIENTS, BENCH_DURATION, publish
 
-from repro.bench import experiment_fig6, render_fig6
+from repro.bench import experiment_fig6, fig5_row_dict, render_fig6
 
 
 def test_fig6_throughput(benchmark, results_dir):
@@ -16,7 +16,8 @@ def test_fig6_throughput(benchmark, results_dir):
                                 clients=BENCH_CLIENTS),
         rounds=1, iterations=1,
     )
-    publish(results_dir, "fig6_throughput", render_fig6(rows))
+    publish(results_dir, "fig6_throughput", render_fig6(rows),
+            {"rows": [fig5_row_dict(r) for r in rows]})
 
     by_label = {r.label: r for r in rows}
     thr_1g = by_label["1G"].throughput_bytes

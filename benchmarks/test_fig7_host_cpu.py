@@ -7,12 +7,13 @@ the paper's headline result ("cuts host CPU usage by up to 92 %").
 
 from conftest import publish
 
-from repro.bench import render_fig7
+from repro.bench import comparison_point_dict, render_fig7
 
 
 def test_fig7_host_cpu(benchmark, sweep, results_dir):
     points = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
-    publish(results_dir, "fig7_host_cpu", render_fig7(points))
+    publish(results_dir, "fig7_host_cpu", render_fig7(points),
+            {"points": [comparison_point_dict(p) for p in points]})
 
     for p in points:
         # DoCeph's host CPU is low and flat (paper: 5.39–5.75 %).

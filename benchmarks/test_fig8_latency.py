@@ -8,12 +8,13 @@ block sizes.
 
 from conftest import publish
 
-from repro.bench import render_fig8
+from repro.bench import comparison_point_dict, render_fig8
 
 
 def test_fig8_latency(benchmark, sweep, results_dir):
     points = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
-    publish(results_dir, "fig8_latency", render_fig8(points))
+    publish(results_dir, "fig8_latency", render_fig8(points),
+            {"points": [comparison_point_dict(p) for p in points]})
 
     overheads = []
     for p in points:

@@ -7,7 +7,7 @@ block sizes, which is why the DoCeph/Baseline gap closes.
 
 from conftest import BENCH_CLIENTS, BENCH_DURATION, publish
 
-from repro.bench import experiment_fig9, render_fig9
+from repro.bench import experiment_fig9, render_fig9, table3_row_dict
 
 
 def test_fig9_normalized_breakdown(benchmark, sweep, results_dir):
@@ -16,7 +16,8 @@ def test_fig9_normalized_breakdown(benchmark, sweep, results_dir):
                                 clients=BENCH_CLIENTS),
         rounds=1, iterations=1,
     )
-    publish(results_dir, "fig9_normalized_breakdown", render_fig9(rows))
+    publish(results_dir, "fig9_normalized_breakdown", render_fig9(rows),
+            {"rows": [table3_row_dict(r) for r in rows]})
 
     shares = [r.normalized()["dma_wait"] for r in rows]
     # DMA-wait is a major component at 1 MB (paper: 44.8 %) ...

@@ -8,7 +8,7 @@ its work.
 
 from conftest import BENCH_CLIENTS, BENCH_DURATION, publish
 
-from repro.bench import experiment_table2, render_table2
+from repro.bench import experiment_table2, render_table2, table2_dict
 
 
 def test_table2_context_switches(benchmark, results_dir):
@@ -17,7 +17,8 @@ def test_table2_context_switches(benchmark, results_dir):
                                   clients=BENCH_CLIENTS),
         rounds=1, iterations=1,
     )
-    publish(results_dir, "table2_context_switches", render_table2(result))
+    publish(results_dir, "table2_context_switches", render_table2(result),
+            table2_dict(result))
 
     # Messenger context switches dominate by roughly an order of
     # magnitude (paper: 9.95x; shape band: 5x–25x).

@@ -8,7 +8,7 @@ outpaced by Others, which dominates total latency at large sizes.
 
 from conftest import publish
 
-from repro.bench import experiment_table3, render_table3
+from repro.bench import experiment_table3, render_table3, table3_row_dict
 from conftest import BENCH_CLIENTS, BENCH_DURATION
 
 
@@ -18,7 +18,8 @@ def test_table3_latency_breakdown(benchmark, sweep, results_dir):
                                   clients=BENCH_CLIENTS),
         rounds=1, iterations=1,
     )
-    publish(results_dir, "table3_latency_breakdown", render_table3(rows))
+    publish(results_dir, "table3_latency_breakdown", render_table3(rows),
+            {"rows": [table3_row_dict(r) for r in rows]})
 
     assert len(rows) == 4
     # Components are non-negative and sum to the total by construction.

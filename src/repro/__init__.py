@@ -26,6 +26,10 @@ Package map
   pipelining, fallback/cooldown
 - ``repro.cluster`` — testbed assembly + calibrated profiles
 - ``repro.bench`` — RADOS bench, metrics, experiment drivers
+- ``repro.faults`` — deterministic fault injection plans
+- ``repro.chaos`` — cluster-level chaos harness + durability checker
+- ``repro.trace`` — cross-layer tracing: spans, critical path,
+  CPU cross-checks, Perfetto export
 """
 
 __version__ = "1.0.0"

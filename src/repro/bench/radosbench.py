@@ -54,6 +54,9 @@ class BenchResult:
     #: Cluster-health counters (daemon lifecycle, monitor activity,
     #: client resends/timeouts, partition drops) at the end of the run.
     health: Optional[HealthReport] = None
+    #: Trace report when a :class:`~repro.trace.Tracer` was attached at
+    #: build time (None otherwise); window = the measurement window.
+    trace: Optional[Any] = None
 
     @property
     def avg_latency(self) -> float:
@@ -152,6 +155,9 @@ def run_rados_bench(
         if isinstance(osd.store, ProxyObjectStore):
             breakdowns.extend(osd.store.breakdowns)
 
+    tracer = getattr(cluster, "tracer", None)
+    trace = (tracer.report(window=(t_open, env.now))
+             if tracer is not None else None)
     measured = max(env.now - t_open, 1e-9)
     return BenchResult(
         object_size=object_size,
@@ -169,6 +175,7 @@ def run_rados_bench(
         breakdowns=breakdowns,
         faults=collect_fault_report(cluster),
         health=collect_health_report(cluster),
+        trace=trace,
     )
 
 
@@ -240,6 +247,9 @@ def run_read_bench(
 
     host_windows = sampler_hosts.stop()
     ceph_windows = sampler_ceph.stop()
+    tracer = getattr(cluster, "tracer", None)
+    trace = (tracer.report(window=(t_open, env.now))
+             if tracer is not None else None)
     measured = max(env.now - t_open, 1e-9)
     return BenchResult(
         object_size=object_size,
@@ -256,4 +266,5 @@ def run_read_bench(
         host_cpu=host_windows,
         faults=collect_fault_report(cluster),
         health=collect_health_report(cluster),
+        trace=trace,
     )

@@ -471,15 +471,20 @@ def run_chaos(
     crashes: int = 3,
     partitions: int = 1,
     profile: Optional[HardwareProfile] = None,
+    tracer: Any = None,
 ) -> ChaosReport:
     """One full chaos experiment: boot, write under a seeded schedule of
-    crashes and partitions, heal, then verify every acked write."""
+    crashes and partitions, heal, then verify every acked write.
+
+    Pass a :class:`~repro.trace.Tracer` to capture spans across the run
+    (crashed ops show error spans, resends show retry links); tracing
+    never changes the simulated schedule."""
     profile = profile or chaos_profile(mode)
     env = Environment()
     if mode == "doceph":
-        cluster = build_doceph_cluster(env, profile)
+        cluster = build_doceph_cluster(env, profile, tracer=tracer)
     else:
-        cluster = build_baseline_cluster(env, profile)
+        cluster = build_baseline_cluster(env, profile, tracer=tracer)
     client = cluster.client
     assert client is not None
 

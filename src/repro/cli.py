@@ -8,11 +8,17 @@ Usage::
     python -m repro bench --faults "dma,p=0.3" --fault-seed 7
     python -m repro faults --plan "rpc:reply_loss,p=0.2" --size 4M
     python -m repro chaos --seeds 0,1,2 --crashes 3 --partitions 1 --replay
+    python -m repro trace --mode doceph --size 1M --out trace.json --replay
     python -m repro fig8 --duration 20     # longer, steadier runs
 
 Each experiment prints the paper-vs-measured table that the benchmark
-suite also asserts on.  ``--faults`` takes the spec format of
-``repro.faults`` (``layer[:kind],key=value,...`` joined with ``;``).
+suite also asserts on, and publishes a machine-readable
+``BENCH_<name>.json`` under ``--json-dir`` (default
+``benchmarks/results``; ``--no-json`` disables).  ``--faults`` takes
+the spec format of ``repro.faults`` (``layer[:kind],key=value,...``
+joined with ``;``).  ``trace`` runs a bench with the
+:mod:`repro.trace` tracer attached and exports Chrome/Perfetto
+trace-event JSON.
 """
 
 from __future__ import annotations
@@ -23,10 +29,16 @@ import sys
 from typing import Callable, Sequence
 
 from .bench import (
+    bench_result_dict,
+    comparison_point_dict,
     experiment_fallback,
     experiment_fig5,
     experiment_table2,
     experiment_table3,
+    fig5_row_dict,
+    table2_dict,
+    table3_row_dict,
+    write_bench_json,
     render_fig5,
     render_fig6,
     render_fig7,
@@ -62,36 +74,63 @@ def _parse_size(text: str) -> int:
         raise argparse.ArgumentTypeError(f"bad size: {text!r}") from None
 
 
+def _publish(args: argparse.Namespace, name: str, payload: dict) -> None:
+    """Write BENCH_<name>.json unless the user opted out."""
+    if getattr(args, "no_json", False):
+        return
+    out_dir = getattr(args, "json_dir", "benchmarks/results")
+    write_bench_json(name, payload, out_dir)
+
+
 def _cmd_fig5(args: argparse.Namespace) -> str:
-    return render_fig5(experiment_fig5(duration=args.duration))
+    rows = experiment_fig5(duration=args.duration)
+    _publish(args, "fig5", {"rows": [fig5_row_dict(r) for r in rows]})
+    return render_fig5(rows)
 
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
-    return render_fig6(experiment_fig5(duration=args.duration))
+    rows = experiment_fig5(duration=args.duration)
+    _publish(args, "fig6", {"rows": [fig5_row_dict(r) for r in rows]})
+    return render_fig6(rows)
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
-    return render_table2(experiment_table2(duration=args.duration))
+    result = experiment_table2(duration=args.duration)
+    _publish(args, "table2", table2_dict(result))
+    return render_table2(result)
 
 
 def _cmd_fig7(args: argparse.Namespace) -> str:
-    return render_fig7(run_comparison_sweep(duration=args.duration))
+    points = run_comparison_sweep(duration=args.duration)
+    _publish(args, "fig7",
+             {"points": [comparison_point_dict(p) for p in points]})
+    return render_fig7(points)
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
-    return render_fig8(run_comparison_sweep(duration=args.duration))
+    points = run_comparison_sweep(duration=args.duration)
+    _publish(args, "fig8",
+             {"points": [comparison_point_dict(p) for p in points]})
+    return render_fig8(points)
 
 
 def _cmd_table3(args: argparse.Namespace) -> str:
-    return render_table3(experiment_table3(duration=args.duration))
+    rows = experiment_table3(duration=args.duration)
+    _publish(args, "table3", {"rows": [table3_row_dict(r) for r in rows]})
+    return render_table3(rows)
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
-    return render_fig9(experiment_table3(duration=args.duration))
+    rows = experiment_table3(duration=args.duration)
+    _publish(args, "fig9", {"rows": [table3_row_dict(r) for r in rows]})
+    return render_fig9(rows)
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
-    return render_fig10(run_comparison_sweep(duration=args.duration))
+    points = run_comparison_sweep(duration=args.duration)
+    _publish(args, "fig10",
+             {"points": [comparison_point_dict(p) for p in points]})
+    return render_fig10(points)
 
 
 _EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
@@ -116,8 +155,12 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     plan = None
     if args.faults:
         plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+    tracer = None
+    if args.trace:
+        from .trace import Tracer
+        tracer = Tracer(seed=args.fault_seed)
     env = Environment()
-    cluster = builder(env, fault_plan=plan)
+    cluster = builder(env, fault_plan=plan, tracer=tracer)
     result = run_rados_bench(
         cluster, object_size=args.size, clients=args.clients,
         duration=args.duration,
@@ -136,6 +179,12 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         lines.append(
             "    " + json.dumps(result.faults.as_dict(), sort_keys=True)
         )
+    if result.trace is not None:
+        lines.append("  trace:")
+        lines += ["    " + ln
+                  for ln in result.trace.flame_summary().splitlines()]
+    _publish(args, f"bench_{args.mode}_{args.size >> 20}M",
+             bench_result_dict(result))
     return "\n".join(lines)
 
 
@@ -147,6 +196,14 @@ def _cmd_faults(args: argparse.Namespace) -> str:
     )
     report = res.faulty.faults
     assert report is not None
+    _publish(args, "fallback", {
+        "plan": str(args.plan),
+        "seed": res.plan.seed,
+        "iops_retained": round(res.iops_retained, 9),
+        "host_cpu_increase_pct": round(res.host_cpu_increase_pct, 9),
+        "clean": bench_result_dict(res.clean),
+        "faulty": bench_result_dict(res.faulty),
+    })
     lines = [
         f"fault plan: {args.plan!r} (seed {res.plan.seed})",
         f"  clean : {res.clean.iops:.1f} IOPS,"
@@ -159,6 +216,66 @@ def _cmd_faults(args: argparse.Namespace) -> str:
         "    " + json.dumps(report.as_dict(), sort_keys=True),
     ]
     return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> tuple[str, bool]:
+    """Traced bench run: flame summary, critical path, CPU cross-check,
+    Perfetto export.  Returns (text, ok); ``--replay`` reruns the same
+    seed and requires an identical trace fingerprint."""
+    from .trace import Tracer
+
+    builder = (build_doceph_cluster if args.mode == "doceph"
+               else build_baseline_cluster)
+
+    def run_once():
+        plan = (FaultPlan.parse(args.faults, seed=args.fault_seed)
+                if args.faults else None)
+        env = Environment()
+        tracer = Tracer(seed=args.seed)
+        cluster = builder(env, fault_plan=plan, tracer=tracer)
+        return run_rados_bench(
+            cluster, object_size=args.size, clients=args.clients,
+            duration=args.duration,
+        )
+
+    result = run_once()
+    rep = result.trace
+    assert rep is not None
+    fingerprint = rep.fingerprint()
+    lines = [
+        f"mode={args.mode} size={args.size >> 20}MB clients={args.clients}"
+        f" duration={args.duration:.0f}s seed={args.seed}",
+        f"  iops:        {result.iops:.1f}",
+        f"  throughput:  {result.throughput_bytes / 1e6:.1f} MB/s",
+        f"  avg latency: {result.avg_latency * 1e3:.1f} ms",
+        "",
+        rep.flame_summary(),
+        "",
+        "per-category busy seconds, span-attributed vs sampled:",
+    ]
+    for cat, (traced, sampled) in sorted(
+        rep.cpu_crosscheck(result.ceph_cpu + result.host_cpu).items()
+    ):
+        dev = (abs(traced - sampled) / sampled * 100) if sampled else 0.0
+        lines.append(
+            f"  {cat:12s} traced={traced:.4f}s sampled={sampled:.4f}s"
+            f" ({dev:.2f}% off)"
+        )
+    lines.append(f"trace fingerprint: {fingerprint}")
+    ok = True
+    if args.replay:
+        fp2 = run_once().trace.fingerprint()
+        if fp2 == fingerprint:
+            lines.append("replay: identical fingerprint")
+        else:
+            lines.append(f"replay: MISMATCH {fp2} — NON-DETERMINISTIC")
+            ok = False
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(rep.to_perfetto(), fh)
+        lines.append(f"perfetto trace written to {args.out}"
+                     f" ({len(rep.spans)} spans)")
+    return "\n".join(lines), ok
 
 
 def _cmd_chaos(args: argparse.Namespace) -> tuple[str, bool]:
@@ -218,10 +335,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_json_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json-dir", default="benchmarks/results",
+                       metavar="DIR",
+                       help="directory for BENCH_<name>.json result files")
+        p.add_argument("--no-json", action="store_true",
+                       help="skip writing the JSON result file")
+
     for name in list(_EXPERIMENTS) + ["all"]:
         p = sub.add_parser(name, help=f"run {name}")
         p.add_argument("--duration", type=float, default=8.0,
                        help="measured simulated seconds per run")
+        add_json_opts(p)
 
     bench = sub.add_parser("bench", help="one ad-hoc RADOS bench run")
     bench.add_argument("--mode", choices=["baseline", "doceph"],
@@ -235,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "nth=5' (see repro.faults)")
     bench.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault plan's RNG streams")
+    bench.add_argument("--trace", action="store_true",
+                       help="attach the repro.trace tracer and print the "
+                            "flame summary")
+    add_json_opts(bench)
 
     faults = sub.add_parser(
         "faults", help="§4 robustness: run DoCeph under a fault plan and"
@@ -245,6 +374,27 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--size", type=_parse_size, default=4 << 20)
     faults.add_argument("--clients", type=int, default=16)
     faults.add_argument("--duration", type=float, default=8.0)
+    add_json_opts(faults)
+
+    trace = sub.add_parser(
+        "trace", help="traced bench run: span flame summary, CPU "
+                      "cross-check, Perfetto trace-event export")
+    trace.add_argument("--mode", choices=["baseline", "doceph"],
+                       default="doceph")
+    trace.add_argument("--size", type=_parse_size, default=1 << 20)
+    trace.add_argument("--clients", type=int, default=2)
+    trace.add_argument("--duration", type=float, default=4.0)
+    trace.add_argument("--seed", type=int, default=0,
+                       help="tracer ID-minting seed")
+    trace.add_argument("--faults", default=None, metavar="SPEC",
+                       help="optional fault plan (spans get error tags "
+                            "and retry links)")
+    trace.add_argument("--fault-seed", type=int, default=0)
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write Chrome/Perfetto trace-event JSON here")
+    trace.add_argument("--replay", action="store_true",
+                       help="run twice and require identical trace "
+                            "fingerprints")
 
     chaos = sub.add_parser(
         "chaos", help="cluster-level chaos: seeded OSD crash/restart and"
@@ -279,6 +429,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(_cmd_bench(args))
         elif args.command == "faults":
             print(_cmd_faults(args))
+        elif args.command == "trace":
+            text, ok = _cmd_trace(args)
+            print(text)
+            if not ok:
+                return 3  # replay fingerprint mismatch
         elif args.command == "chaos":
             text, ok = _cmd_chaos(args)
             print(text)

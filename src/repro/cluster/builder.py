@@ -60,6 +60,8 @@ class Cluster:
     proxy_servers: list[Any] = field(default_factory=list)
     #: The fault plan attached at build time (None = fault-free run).
     fault_plan: Optional[FaultPlan] = None
+    #: The tracer attached at build time (None = tracing disabled).
+    tracer: Any = None
 
     def boot(self) -> Generator[Any, Any, None]:
         """Bring the cluster up: activate PGs, start heartbeats/beacons,
@@ -211,6 +213,7 @@ def build_baseline_cluster(
     env: Environment,
     profile: Optional[HardwareProfile] = None,
     fault_plan: Optional[FaultPlan] = None,
+    tracer: Any = None,
 ) -> Cluster:
     """The conventional deployment: full Ceph stack on host CPUs,
     BlueField in NIC mode."""
@@ -267,6 +270,8 @@ def build_baseline_cluster(
     cluster.fault_plan = _effective_fault_plan(profile, fault_plan)
     if cluster.fault_plan is not None:
         cluster.fault_plan.attach_cluster(cluster)
+    if tracer is not None:
+        tracer.attach_cluster(cluster)
     return cluster
 
 
@@ -274,6 +279,7 @@ def build_doceph_cluster(
     env: Environment,
     profile: Optional[DocephProfile] = None,
     fault_plan: Optional[FaultPlan] = None,
+    tracer: Any = None,
 ) -> Cluster:
     """The paper's architecture: OSD + messenger on the DPU, BlueStore
     (plus the thin proxy server) on the host, RPC/DMA in between."""
@@ -350,4 +356,6 @@ def build_doceph_cluster(
     cluster.fault_plan = _effective_fault_plan(profile, fault_plan)
     if cluster.fault_plan is not None:
         cluster.fault_plan.attach_cluster(cluster)
+    if tracer is not None:
+        tracer.attach_cluster(cluster)
     return cluster

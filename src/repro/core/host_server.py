@@ -80,6 +80,10 @@ class HostProxyServer:
         (or the fallback socket).  Async: BlueStore commit must not
         block the RPC listener."""
         txn = Transaction.decode(req.payload.decoder())
+        # span context does not survive the wire encoding; re-attach the
+        # one carried by the RPC request so BlueStore's commit span
+        # parents under the rpc.queue_txn attempt
+        txn.span_ctx = req.span_ctx
         req.reply = DEFERRED
         self.env.process(
             self._execute_txn(req, txn), name=f"{self.node.name}.proxy-txn"
@@ -169,12 +173,13 @@ class HostProxyServer:
     ) -> Generator[Any, Any, None]:
         try:
             blob = yield from self.store.read(
-                coll, oid, offset, length, self.exec_thread
+                coll, oid, offset, length, self.exec_thread,
+                span_ctx=req.span_ctx,
             )
             content = blob.parent_id or 0
             if blob.length and self.read_pipeline is not None:
                 timing = yield from self.read_pipeline.push(
-                    blob.length, self.exec_thread
+                    blob.length, self.exec_thread, span_ctx=req.span_ctx
                 )
                 req.reply = {"length": blob.length, "timing": timing,
                              "content": content}

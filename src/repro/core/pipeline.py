@@ -192,16 +192,21 @@ class DmaPipeline:
 
     # ---------------------------------------------------------------- public
     def push(
-        self, nbytes: int, thread: SimThread
+        self, nbytes: int, thread: SimThread, span_ctx: Any = None
     ) -> Generator[Any, Any, RequestTiming]:
-        """Move ``nbytes`` across the bridge; returns the timing record."""
+        """Move ``nbytes`` across the bridge; returns the timing record.
+
+        With ``span_ctx`` set, every segment gets a ``dma.segment``
+        span (stage/transmit overlap shows as overlapping spans), DMA
+        failures are error spans, and rerouted segments get a
+        ``dma.fallback`` span retry-linked to the failed attempt."""
         sizes = segment_sizes(nbytes, self.segment_bytes)
         timing = RequestTiming(size=nbytes, segments=len(sizes))
         t_start = self.env.now
         if self.pipelined:
-            yield from self._push_pipelined(sizes, thread, timing)
+            yield from self._push_pipelined(sizes, thread, timing, span_ctx)
         else:
-            yield from self._push_sequential(sizes, thread, timing)
+            yield from self._push_sequential(sizes, thread, timing, span_ctx)
         timing.total = self.env.now - t_start
         self.bytes_pushed += nbytes
         self.requests += 1
@@ -209,25 +214,33 @@ class DmaPipeline:
 
     # ---------------------------------------------------------------- modes
     def _push_pipelined(
-        self, sizes: list[int], thread: SimThread, timing: RequestTiming
+        self,
+        sizes: list[int],
+        thread: SimThread,
+        timing: RequestTiming,
+        span_ctx: Any = None,
     ) -> Generator[Any, Any, None]:
         inflight = []
-        for seg in sizes:
+        for i, seg in enumerate(sizes):
             now = self.env.now
             if self.fallback.probe_due(now) and self.fallback.begin_probe(now):
-                yield from self._probe(thread)
+                yield from self._probe(thread, span_ctx)
             if not self.fallback.dma_allowed(self.env.now):
-                yield from self._segment_via_rpc(seg, thread, timing)
+                yield from self._segment_via_rpc(
+                    seg, thread, timing, span_ctx, reason="cooldown"
+                )
                 continue
+            seg_span = self._segment_span(span_ctx, i, seg)
             t0 = self.env.now
             region: MemoryRegion = yield self._buffers.get()
             if self.env.now > t0:  # waited for a free staging buffer
                 timing.wait_intervals.append((t0, self.env.now))
-            yield from self._stage(region, seg, timing)
+            yield from self._stage(region, seg, timing, seg_span)
             # post the DMA and immediately start staging the next segment
             inflight.append(
                 self.env.process(
-                    self._dma_segment(region, seg, thread, timing),
+                    self._dma_segment(region, seg, thread, timing,
+                                      span_ctx, seg_span),
                     name="dma-seg",
                 )
             )
@@ -235,25 +248,47 @@ class DmaPipeline:
             yield proc
 
     def _push_sequential(
-        self, sizes: list[int], thread: SimThread, timing: RequestTiming
+        self,
+        sizes: list[int],
+        thread: SimThread,
+        timing: RequestTiming,
+        span_ctx: Any = None,
     ) -> Generator[Any, Any, None]:
-        for seg in sizes:
+        for i, seg in enumerate(sizes):
             now = self.env.now
             if self.fallback.probe_due(now) and self.fallback.begin_probe(now):
-                yield from self._probe(thread)
+                yield from self._probe(thread, span_ctx)
             if not self.fallback.dma_allowed(self.env.now):
-                yield from self._segment_via_rpc(seg, thread, timing)
+                yield from self._segment_via_rpc(
+                    seg, thread, timing, span_ctx, reason="cooldown"
+                )
                 continue
+            seg_span = self._segment_span(span_ctx, i, seg)
             t0 = self.env.now
             region: MemoryRegion = yield self._buffers.get()
             if self.env.now > t0:
                 timing.wait_intervals.append((t0, self.env.now))
-            yield from self._stage(region, seg, timing)
-            yield from self._dma_segment(region, seg, thread, timing)
+            yield from self._stage(region, seg, timing, seg_span)
+            yield from self._dma_segment(region, seg, thread, timing,
+                                         span_ctx, seg_span)
+
+    def _segment_span(self, span_ctx: Any, index: int, seg: int) -> Any:
+        if span_ctx is None:
+            return None
+        span = span_ctx.start_span(
+            "dma.segment", self.env.now, thread=self.stage_thread,
+            nbytes=seg,
+        )
+        span.tag("seg", index)
+        return span
 
     # ---------------------------------------------------------------- pieces
     def _stage(
-        self, region: MemoryRegion, seg: int, timing: RequestTiming
+        self,
+        region: MemoryRegion,
+        seg: int,
+        timing: RequestTiming,
+        span: Any = None,
     ) -> Generator[Any, Any, None]:
         """memcpy ``seg`` bytes into the staging buffer."""
         wall = seg / self.memcpy_bandwidth
@@ -263,6 +298,8 @@ class DmaPipeline:
         t0 = self.env.now
         yield from self.stage_thread.charge(work)
         timing.stage_time += self.env.now - t0
+        if span is not None:
+            span.event(self.env.now, "staged")
 
     def _dma_segment(
         self,
@@ -270,6 +307,8 @@ class DmaPipeline:
         seg: int,
         thread: SimThread,
         timing: RequestTiming,
+        span_ctx: Any = None,
+        span: Any = None,
     ) -> Generator[Any, Any, None]:
         t0 = self.env.now
         try:
@@ -282,30 +321,69 @@ class DmaPipeline:
                 yield from self.completion_thread.charge(
                     self.COMPLETION_POLL_CPU
                 )
+            if span is not None:
+                span.finish(self.env.now)
         except DmaError:
             self.fallback.record_failure(self.env.now)
+            if span is not None:
+                span.error(self.env.now, "dma-error")
             # resend THIS segment over RPC; prior segments are preserved
-            yield from self._segment_via_rpc(seg, thread, timing)
+            yield from self._segment_via_rpc(
+                seg, thread, timing, span_ctx, retry_of=span,
+                reason="dma-error",
+            )
         finally:
             yield self._buffers.put(region)
 
     def _segment_via_rpc(
-        self, seg: int, thread: SimThread, timing: RequestTiming
+        self,
+        seg: int,
+        thread: SimThread,
+        timing: RequestTiming,
+        span_ctx: Any = None,
+        retry_of: Any = None,
+        reason: str = "",
     ) -> Generator[Any, Any, None]:
         self.fallback.record_fallback_segment()
         timing.fallback_bytes += seg
+        fb_span = None
+        if span_ctx is not None:
+            fb_span = span_ctx.start_span(
+                "dma.fallback", self.env.now, thread=thread, nbytes=seg,
+            )
+            if retry_of is not None:
+                fb_span.link(retry_of, "retry")
+            if reason:
+                fb_span.tag("reason", reason)
         bl = BufferList()
         bl.encode_str("bulk")
         bl.encode_u64(seg)
-        yield from self.rpc.call("bulk", bl, thread, bulk_bytes=seg)
+        yield from self.rpc.call(
+            "bulk", bl, thread, bulk_bytes=seg,
+            span_ctx=fb_span.context if fb_span is not None else None,
+        )
+        if fb_span is not None:
+            fb_span.finish(self.env.now)
 
-    def _probe(self, thread: SimThread) -> Generator[Any, Any, None]:
+    def _probe(
+        self, thread: SimThread, span_ctx: Any = None
+    ) -> Generator[Any, Any, None]:
         """Small test transfer deciding whether DMA may be re-enabled."""
+        probe_span = None
+        if span_ctx is not None:
+            probe_span = span_ctx.start_span(
+                "dma.probe", self.env.now, thread=thread,
+                nbytes=PROBE_BYTES,
+            )
         region: MemoryRegion = yield self._buffers.get()
         try:
             yield from self.doca.transfer(region, PROBE_BYTES, thread)
             self.fallback.record_probe(True, self.env.now)
+            if probe_span is not None:
+                probe_span.finish(self.env.now)
         except DmaError:
             self.fallback.record_probe(False, self.env.now)
+            if probe_span is not None:
+                probe_span.error(self.env.now, "dma-error")
         finally:
             yield self._buffers.put(region)

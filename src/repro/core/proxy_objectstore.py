@@ -154,17 +154,34 @@ class ProxyObjectStore(ObjectStore):
         data_len = txn.data_len
         payload = txn.encode()
         yield from thread.charge(self.SERIALIZE_CPU * max(1, txn.num_ops))
+        span = None
+        if txn.span_ctx is not None:
+            span = txn.span_ctx.start_span(
+                "proxy.dispatch", self.env.now, thread=self._stage_thread,
+                nbytes=data_len,
+            )
+            span.tag("ops", txn.num_ops)
+            span.tag("control", data_len == 0)
+        ctx = span.context if span is not None else None
 
         if data_len == 0:
             # §3.2: metadata-only transactions are control plane.
             self.control_ops += 1
             try:
-                yield from self.rpc.call("queue_txn", payload, thread)
+                yield from self.rpc.call(
+                    "queue_txn", payload, thread, span_ctx=ctx
+                )
             except RpcError as exc:
+                if span is not None:
+                    span.error(self.env.now, "rpc-error")
                 raise _store_error(exc) from None
+            if span is not None:
+                span.finish(self.env.now)
             return
 
         if data_len > self.server.write_buffers.capacity:
+            if span is not None:
+                span.error(self.env.now, "write-buffer-overflow")
             raise StoreError(
                 f"request of {data_len} B exceeds the host write-buffer "
                 f"pool ({self.server.write_buffers.capacity} B)"
@@ -173,15 +190,23 @@ class ProxyObjectStore(ObjectStore):
         t0 = self.env.now
         # Reserve host-side write-buffer space (Fig. 4 backpressure) …
         yield self.server.write_buffers.get(data_len)
+        if span is not None:
+            span.event(self.env.now, "write_buffers_reserved")
         # … stream the payload across …
         timing: RequestTiming = yield from self.write_pipeline.push(
-            data_len, thread
+            data_len, thread, span_ctx=ctx
         )
         # … then commit on the host and wait for durability.
         try:
-            resp = yield from self.rpc.call("queue_txn", payload, thread)
+            resp = yield from self.rpc.call(
+                "queue_txn", payload, thread, span_ctx=ctx
+            )
         except RpcError as exc:
+            if span is not None:
+                span.error(self.env.now, "rpc-error")
             raise _store_error(exc) from None
+        if span is not None:
+            span.finish(self.env.now)
         host_write = (resp.reply or {}).get("host_write", 0.0)
         self.breakdowns.append(
             WriteBreakdown(
@@ -196,9 +221,22 @@ class ProxyObjectStore(ObjectStore):
         )
 
     def read(
-        self, coll: str, oid: str, offset: int, length: int, thread: SimThread
+        self,
+        coll: str,
+        oid: str,
+        offset: int,
+        length: int,
+        thread: SimThread,
+        span_ctx: Any = None,
     ) -> Generator[Any, Any, DataBlob]:
         """Read via the host: request over RPC, data back via DMA."""
+        span = None
+        if span_ctx is not None:
+            span = span_ctx.start_span(
+                "proxy.read", self.env.now, thread=self._stage_thread,
+                nbytes=length,
+            )
+        ctx = span.context if span is not None else None
         bl = BufferList()
         bl.encode_str(coll)
         bl.encode_str(oid)
@@ -206,13 +244,21 @@ class ProxyObjectStore(ObjectStore):
         bl.encode_u64(length)
         self.data_ops += 1
         try:
-            resp = yield from self.rpc.call("read", bl, thread)
+            resp = yield from self.rpc.call("read", bl, thread,
+                                            span_ctx=ctx)
         except RpcError as exc:
             if "ENOENT" in str(exc):
+                if span is not None:
+                    span.error(self.env.now, "enoent")
                 raise NoSuchObject(f"{coll}/{oid}") from None
+            if span is not None:
+                span.error(self.env.now, "rpc-error")
             raise StoreError(str(exc)) from None
         reply = resp.reply or {}
         content = reply.get("content") or None
+        if span is not None:
+            span.nbytes = reply.get("length", 0)
+            span.finish(self.env.now)
         return DataBlob(reply.get("length", 0), parent_id=content)
 
     # ---------------------------------------------------------------- control plane

@@ -74,6 +74,10 @@ class RpcRequest:
     #: Wire size of the reply, recorded when the host sends it, so the
     #: caller charges the exact receive cost.
     reply_wire_bytes: int = 0
+    #: :class:`repro.trace.SpanContext` of this attempt's span; host
+    #: handlers parent their work (BlueStore commit, read pipeline)
+    #: under it.  ``None`` when the caller is untraced.
+    span_ctx: Any = None
 
 
 class RpcChannel:
@@ -153,6 +157,7 @@ class RpcChannel:
         payload: BufferList,
         thread: SimThread,
         bulk_bytes: int = 0,
+        span_ctx: Any = None,
     ) -> Generator[Any, Any, RpcRequest]:
         """Issue one RPC from the DPU; resumes when the reply arrives.
 
@@ -171,7 +176,18 @@ class RpcChannel:
         wire = payload.real_length + bulk_bytes + 32  # header
         tcp = self.profile.tcp
         attempts = 1 + max(0, self.max_retries)
+        prev_span = None
         for attempt in range(attempts):
+            span = None
+            if span_ctx is not None:
+                span = span_ctx.start_span(
+                    f"rpc.{op}", self.env.now, thread=thread, nbytes=wire,
+                )
+                span.tag("req_id", req_id)
+                span.tag("attempt", attempt)
+                if prev_span is not None:
+                    span.link(prev_span, "retry")
+                prev_span = span
             req = RpcRequest(
                 req_id=req_id,
                 op=op,
@@ -180,6 +196,7 @@ class RpcChannel:
                 response=self.env.event(),
                 submitted_at=self.env.now,
                 attempt=attempt,
+                span_ctx=span.context if span is not None else None,
             )
             yield from thread.charge(tcp.send_cpu(wire))
             yield from thread.ctx_switch(tcp.send_ctx(wire))
@@ -198,6 +215,8 @@ class RpcChannel:
                 ):
                     lost = True
                     self.request_losses += 1
+                    if span is not None:
+                        span.tag("dropped", "request-loss")
             yield self.env.timeout(latency)
             if not lost:
                 yield self._server_queue.put(req)
@@ -224,10 +243,16 @@ class RpcChannel:
                 self.bulk_bytes += bulk_bytes
                 if req.error is not None:
                     self.errors += 1
+                    if span is not None:
+                        span.error(self.env.now, "handler-error")
                     raise RpcError(req.error)
+                if span is not None:
+                    span.finish(self.env.now)
                 return req
 
             self.timeouts += 1
+            if span is not None:
+                span.error(self.env.now, "timeout")
             if attempt < attempts - 1:
                 self.retries += 1
         self.errors += 1

@@ -121,6 +121,12 @@ class CpuComplex:
         self._core_pool = Resource(env, capacity=cores)
         self.accounting = CpuAccounting()
         self._start_time = env.now
+        #: Optional charge-completion hook,
+        #: ``observer(category, thread, cpu_name, now, busy_seconds)``.
+        #: Called synchronously right after ``accounting.add_busy`` —
+        #: no simulation side effects — so a tracer can mirror the
+        #: ledger (see :mod:`repro.trace`).
+        self.observer: Any = None
 
     # -- execution -------------------------------------------------------------
     def execute(
@@ -140,6 +146,9 @@ class CpuComplex:
             yield req
             yield self.env.timeout(wall)
             self.accounting.add_busy(category, thread, wall)
+            if self.observer is not None:
+                self.observer(category, thread, self.name,
+                              self.env.now, wall)
 
     def record_ctx_switches(
         self, category: str, thread: str, count: int = 1

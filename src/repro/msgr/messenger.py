@@ -130,16 +130,23 @@ class Connection:
         src = self.messenger.stack.address
         try:
             while True:
-                bl, msg, wire_bytes = yield self._wire_queue.get()
+                bl, msg, wire_bytes, send_span = yield self._wire_queue.get()
                 delivered = yield from net.deliver(
                     src, self.peer_addr, wire_bytes
                 )
                 if delivered is False:
                     # a network partition ate the bytes on the wire
                     self.messenger.messages_dropped += 1
+                    if send_span is not None:
+                        send_span.tag("dropped", "partition")
+                        send_span.error(self.messenger.env.now, "partition")
                     continue
+                if send_span is not None:
+                    send_span.finish(self.messenger.env.now)
                 peer = self.messenger.directory.lookup(self.peer_addr)
-                peer._enqueue_incoming(src, bl, msg.attachment, wire_bytes)
+                peer._enqueue_incoming(
+                    src, bl, msg.attachment, wire_bytes, send_span
+                )
                 self.messages_sent += 1
                 self.bytes_sent += wire_bytes
         except Interrupt:
@@ -182,25 +189,54 @@ class _Worker:
                 # daemon is dead: every queued or newly arriving item is
                 # dropped on the floor, like a closed socket
                 msgr.messages_dropped += 1
+                if item[0] == "recv" and item[5] is not None:
+                    item[5].tag("dropped", "daemon-down")
                 continue
             kind = item[0]
             if kind == "send":
                 _, conn, msg = item
+                ctx = getattr(msg, "span_ctx", None)
                 bl = msg.encode()
                 wire = len(bl) + _WIRE_OVERHEAD
+                send_span = None
+                if ctx is not None:
+                    send_span = ctx.start_span(
+                        "msgr.send", msgr.env.now, thread=thread,
+                        nbytes=wire,
+                    )
+                    send_span.tag("msg", type(msg).__name__)
+                    send_span.tag("peer", conn.peer_addr)
+                    # replies carry the span of the work that produced
+                    # them (osd.op / osd.repop); the link lets the
+                    # critical-path walk cross from the reply wire back
+                    # into that processing span
+                    origin = getattr(msg, "origin_span", None)
+                    if origin is not None:
+                        send_span.link(origin, "follows")
                 yield from thread.charge(cost.encode_cpu(wire))
                 yield from thread.charge(tcp.send_cpu(wire))
                 yield from thread.ctx_switch(tcp.send_ctx(wire))
-                conn._wire_queue.put((bl, msg, wire))
+                conn._wire_queue.put((bl, msg, wire, send_span))
                 msgr.messages_sent += 1
                 msgr.bytes_sent += wire
             elif kind == "recv":
-                _, src_addr, bl, attachment, wire = item
+                _, src_addr, bl, attachment, wire, sender_span = item
+                recv_span = None
+                if sender_span is not None and sender_span.parent is not None:
+                    recv_span = sender_span.tracer.start_span(
+                        "msgr.recv", msgr.env.now,
+                        parent=sender_span.parent, thread=thread,
+                        nbytes=wire,
+                    )
+                    recv_span.link(sender_span, "follows")
                 # epoll wakeup + kernel receive path
                 yield from thread.ctx_switch(tcp.recv_ctx(wire))
                 yield from thread.charge(tcp.recv_cpu(wire))
                 yield from thread.charge(cost.decode_cpu(wire))
                 msg = decode_message(bl, attachment)
+                if recv_span is not None:
+                    recv_span.tag("msg", type(msg).__name__)
+                    msg.span_ctx = sender_span.parent.context  # type: ignore[attr-defined]
                 msgr.messages_received += 1
                 msgr.bytes_received += wire
                 if msgr.throttle is not None:
@@ -211,6 +247,8 @@ class _Worker:
                 dispatcher = msgr.dispatcher
                 if dispatcher is not None:
                     yield from dispatcher.ms_dispatch(msg, conn)
+                if recv_span is not None:
+                    recv_span.finish(msgr.env.now)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown worker item: {item!r}")
 
@@ -344,16 +382,25 @@ class AsyncMessenger:
         self.connect(peer_addr).send(msg)
 
     def _enqueue_incoming(
-        self, src_addr: str, bl: BufferList, attachment: Any, wire: int
+        self,
+        src_addr: str,
+        bl: BufferList,
+        attachment: Any,
+        wire: int,
+        sender_span: Any = None,
     ) -> None:
         """Called by the sender's wire pump when bytes land in our
         kernel receive buffer: wake the owning worker."""
         if self.down:
             # nobody is listening on the socket
             self.messages_dropped += 1
+            if sender_span is not None:
+                sender_span.tag("dropped", "peer-down")
             return
         conn = self.connect(src_addr)
-        conn.worker.enqueue(("recv", src_addr, bl, attachment, wire))
+        conn.worker.enqueue(
+            ("recv", src_addr, bl, attachment, wire, sender_span)
+        )
 
     def __repr__(self) -> str:
         return (

@@ -77,6 +77,12 @@ class Transaction:
 
     ops: list[TxnOp] = field(default_factory=list)
 
+    #: Optional :class:`repro.trace.SpanContext` set by the submitting
+    #: layer; backends start their commit spans under it.  Not part of
+    #: the wire encoding — the host proxy server re-attaches the context
+    #: carried by the RPC request after decode.
+    span_ctx: Any = field(default=None, compare=False, repr=False)
+
     # -- builders ----------------------------------------------------------
     def touch(self, coll: str, oid: str) -> "Transaction":
         self.ops.append(TxnOp(TxnOpKind.TOUCH, coll, oid))
@@ -197,9 +203,17 @@ class ObjectStore:
         raise NotImplementedError
 
     def read(
-        self, coll: str, oid: str, offset: int, length: int, thread: SimThread
+        self,
+        coll: str,
+        oid: str,
+        offset: int,
+        length: int,
+        thread: SimThread,
+        span_ctx: Any = None,
     ) -> Generator[Any, Any, DataBlob]:
-        """Read ``length`` bytes at ``offset``; returns a data blob."""
+        """Read ``length`` bytes at ``offset``; returns a data blob.
+
+        ``span_ctx`` optionally parents the backend's read span."""
         raise NotImplementedError
 
     # -- control plane ---------------------------------------------------------

@@ -127,6 +127,9 @@ class _Txc:
     submitted_at: float = 0.0
     committed_at: float = 0.0
     device_time: float = 0.0
+    #: the transaction's trace span (None untraced); the aio/kv loops
+    #: record pipeline milestones on it as span events
+    span: Any = None
 
 
 class BlueStore(ObjectStore):
@@ -187,25 +190,65 @@ class BlueStore(ObjectStore):
         Returns a :class:`CommitInfo` (total latency + attributable
         device time)."""
         yield from thread.charge(self.config.submit_cpu * max(1, txn.num_ops))
-        txc = _Txc(txn, self.env.event(), submitted_at=self.env.now)
+        span = None
+        if txn.span_ctx is not None:
+            span = txn.span_ctx.start_span(
+                "bstore.commit", self.env.now, cpu=self.cpu.name,
+                category=BSTORE_CATEGORY, thread_name=f"{self.name}.bstore",
+                nbytes=txn.data_len,
+            )
+            span.tag("ops", txn.num_ops)
+        txc = _Txc(txn, self.env.event(), submitted_at=self.env.now,
+                   span=span)
         yield self._txc_queue.put(txc)
-        yield txc.commit_event
+        try:
+            yield txc.commit_event
+        except StoreError:
+            if span is not None:
+                span.error(self.env.now, "store-error")
+            raise
+        if span is not None:
+            span.finish(self.env.now)
         return CommitInfo(
             total_time=txc.committed_at - txc.submitted_at,
             device_time=txc.device_time,
         )
 
     def read(
-        self, coll: str, oid: str, offset: int, length: int, thread: SimThread
+        self,
+        coll: str,
+        oid: str,
+        offset: int,
+        length: int,
+        thread: SimThread,
+        span_ctx: Any = None,
     ) -> Generator[Any, Any, DataBlob]:
-        onode = self._get_onode(coll, oid)
+        span = None
+        if span_ctx is not None:
+            span = span_ctx.start_span(
+                "bstore.read", self.env.now, cpu=self.cpu.name,
+                category=BSTORE_CATEGORY, thread_name=f"{self.name}.bstore",
+                nbytes=length,
+            )
+        try:
+            onode = self._get_onode(coll, oid)
+        except NoSuchObject:
+            if span is not None:
+                span.error(self.env.now, "enoent")
+            raise
         if offset >= onode.size:
+            if span is not None:
+                span.nbytes = 0
+                span.finish(self.env.now)
             return DataBlob(0)
         n = min(length, onode.size - offset)
         yield from thread.charge(
             self.config.control_cpu + n * self.config.read_cpu_per_byte
         )
         yield from self.ssd.read(n)
+        if span is not None:
+            span.nbytes = n
+            span.finish(self.env.now)
         # the returned blob carries the stored content's identity, so a
         # full-object read pushed to another replica reproduces the same
         # content fingerprint there (recovery preserves bytes)
@@ -257,6 +300,8 @@ class BlueStore(ObjectStore):
         while True:
             txc: _Txc = yield self._txc_queue.get()
             yield from thread.ctx_switch()
+            if txc.span is not None:
+                txc.span.event(self.env.now, "aio_start")
             data_len = txc.txn.data_len
             # txc build + payload checksum
             yield from thread.charge(
@@ -284,6 +329,8 @@ class BlueStore(ObjectStore):
             if txc.deferred_bytes:
                 self.deferred_txns += 1
             yield from thread.ctx_switch()  # aio completion wakeup
+            if txc.span is not None:
+                txc.span.event(self.env.now, "kv_queued")
             yield self._kv_queue.put(txc)
 
     def _kv_sync_loop(self) -> Generator[Any, Any, None]:
@@ -319,6 +366,8 @@ class BlueStore(ObjectStore):
             for txc in batch:
                 txc.device_time += flush_time
                 txc.committed_at = self.env.now
+                if txc.span is not None:
+                    txc.span.event(self.env.now, "kv_commit")
                 self.txns_committed += 1
                 self.bytes_committed += txc.txn.data_len
                 txc.commit_event.succeed()

@@ -376,8 +376,22 @@ class OsdDaemon:
                     f"osd_op({msg.op.name} {msg.pool}/{msg.object_name})",
                     self.env.now,
                 )
-                tracked.mark(self.env.now, "queued_for_pg")
                 msg.tracked_op = tracked  # type: ignore[attr-defined]
+            ctx = getattr(msg, "span_ctx", None)
+            if ctx is not None:
+                span = ctx.start_span(
+                    "osd.op", self.env.now,
+                    cpu=self.messenger.stack.cpu.name,
+                    category=OSD_CATEGORY,
+                    thread_name=f"{self.name}.tp_osd_tp",
+                    nbytes=msg.length,
+                )
+                span.tag("osd", self.osd_id)
+                span.tag("op", msg.op.name)
+                msg.op_span = span  # type: ignore[attr-defined]
+            # stage marks land on the tracked op AND as span events, so
+            # the two facilities cannot drift
+            _mark(msg, self.env.now, "queued_for_pg")
             self._op_queue.enqueue(msg, CLIENT_OP)
         elif isinstance(msg, MOSDRepOp):
             self._op_queue.enqueue(msg, SUB_OP)
@@ -469,6 +483,9 @@ class OsdDaemon:
         acting = self.osdmap.pg_to_osds(pgid)
         if not self.alive or not acting or acting[0] != self.osd_id:
             self.misdirected_ops += 1
+            span = getattr(msg, "op_span", None)
+            if span is not None:
+                span.error(self.env.now, "misdirected")
             _release(msg)
             return True
         return False
@@ -493,24 +510,29 @@ class OsdDaemon:
         txn.write(
             pg.collection, msg.object_name, msg.offset, msg.length, msg.data
         )
+        op_span = getattr(msg, "op_span", None)
+        if op_span is not None:
+            txn.span_ctx = op_span.context
         inflight = _InFlightWrite(len(pg.replicas), self.env)
         self._repop_tid += 1
         repop_tid = self._repop_tid
         if pg.replicas:
             self._inflight[repop_tid] = inflight
         for replica in pg.replicas:
+            rep = MOSDRepOp(
+                tid=repop_tid,
+                pool=msg.pool,
+                pg_seed=pgid.seed,
+                object_name=msg.object_name,
+                length=msg.length,
+                offset=msg.offset,
+                data=msg.data,
+                map_epoch=self.osdmap.epoch,
+            )
+            if op_span is not None:
+                rep.span_ctx = op_span.context  # type: ignore[attr-defined]
             self.messenger.send_message(
-                MOSDRepOp(
-                    tid=repop_tid,
-                    pool=msg.pool,
-                    pg_seed=pgid.seed,
-                    object_name=msg.object_name,
-                    length=msg.length,
-                    offset=msg.offset,
-                    data=msg.data,
-                    map_epoch=self.osdmap.epoch,
-                ),
-                self.osdmap.address_of(replica),
+                rep, self.osdmap.address_of(replica)
             )
             pg.repops_sent += 1
         if pg.replicas:
@@ -543,20 +565,30 @@ class OsdDaemon:
             yield AllOf(self.env, [local, *inflight.ack_events])
         except StoreError:
             result = -22  # -EINVAL
+        op_span = getattr(msg, "op_span", None)
         if self.incarnation != inc or not self.alive:
             # the daemon died while this write was in flight: never ack
             # on behalf of a later incarnation (the client will resend)
+            if op_span is not None:
+                op_span.error(self.env.now, "osd-crashed")
             _release(msg)
             return
         _mark(msg, self.env.now, "commit_received")
         self._inflight.pop(repop_tid, None)
         yield from thread.charge(self.config.reply_cpu)
-        self.messenger.send_message(
-            MOSDOpReply(tid=msg.tid, result=result, version=self.osdmap.epoch),
-            msg.src,
+        reply = MOSDOpReply(
+            tid=msg.tid, result=result, version=self.osdmap.epoch
         )
+        if op_span is not None:
+            reply.span_ctx = getattr(msg, "span_ctx", None)  # type: ignore[attr-defined]
+            reply.origin_span = op_span  # type: ignore[attr-defined]
+        self.messenger.send_message(reply, msg.src)
         _complete(self, msg)
         _release(msg)
+        if op_span is not None:
+            op_span.finish(
+                self.env.now, status="error" if result != 0 else "ok"
+            )
 
     # -- client read -----------------------------------------------------------------
     def _handle_client_read(
@@ -579,19 +611,29 @@ class OsdDaemon:
     ) -> Generator[Any, Any, None]:
         thread = self._completion_thread
         inc = self.incarnation
+        op_span = getattr(msg, "op_span", None)
         try:
             blob = yield from self.store.read(
-                pg.collection, msg.object_name, msg.offset, msg.length, thread
+                pg.collection, msg.object_name, msg.offset, msg.length,
+                thread,
+                span_ctx=op_span.context if op_span is not None else None,
             )
             reply = MOSDOpReply(tid=msg.tid, result=0, data=blob)
         except NoSuchObject:
             reply = MOSDOpReply(tid=msg.tid, result=-2)  # -ENOENT
         if self.incarnation != inc or not self.alive:
+            if op_span is not None:
+                op_span.error(self.env.now, "osd-crashed")
             _release(msg)
             return
         yield from thread.charge(self.config.reply_cpu)
+        if op_span is not None:
+            reply.span_ctx = getattr(msg, "span_ctx", None)  # type: ignore[attr-defined]
+            reply.origin_span = op_span  # type: ignore[attr-defined]
         self.messenger.send_message(reply, msg.src)
         _release(msg)
+        if op_span is not None:
+            op_span.finish(self.env.now)
 
     # -- client stat -----------------------------------------------------------------
     def _handle_client_stat(
@@ -606,6 +648,7 @@ class OsdDaemon:
 
         def work() -> Generator[Any, Any, None]:
             t = self._completion_thread
+            op_span = getattr(msg, "op_span", None)
             try:
                 st = yield from self.store.stat(
                     pg.collection, msg.object_name, t
@@ -615,11 +658,18 @@ class OsdDaemon:
             except NoSuchObject:
                 reply = MOSDOpReply(tid=msg.tid, result=-2)
             if self.incarnation != inc or not self.alive:
+                if op_span is not None:
+                    op_span.error(self.env.now, "osd-crashed")
                 _release(msg)
                 return
             yield from t.charge(self.config.reply_cpu)
+            if op_span is not None:
+                reply.span_ctx = getattr(msg, "span_ctx", None)  # type: ignore[attr-defined]
+                reply.origin_span = op_span  # type: ignore[attr-defined]
             self.messenger.send_message(reply, msg.src)
             _release(msg)
+            if op_span is not None:
+                op_span.finish(self.env.now)
 
         self.env.process(work(), name=f"{self.name}.stat.{msg.tid}")
 
@@ -633,19 +683,24 @@ class OsdDaemon:
             return
         pg = self.refresh_pg(pgid)
         txn = Transaction().remove(pg.collection, msg.object_name)
+        op_span = getattr(msg, "op_span", None)
+        if op_span is not None:
+            txn.span_ctx = op_span.context
         inflight = _InFlightWrite(len(pg.replicas), self.env)
         self._repop_tid += 1
         repop_tid = self._repop_tid
         if pg.replicas:
             self._inflight[repop_tid] = inflight
         for replica in pg.replicas:
+            rep = MOSDRepOp(
+                tid=repop_tid, pool=msg.pool, pg_seed=pgid.seed,
+                object_name=msg.object_name, length=0,
+                map_epoch=self.osdmap.epoch,
+            )
+            if op_span is not None:
+                rep.span_ctx = op_span.context  # type: ignore[attr-defined]
             self.messenger.send_message(
-                MOSDRepOp(
-                    tid=repop_tid, pool=msg.pool, pg_seed=pgid.seed,
-                    object_name=msg.object_name, length=0,
-                    map_epoch=self.osdmap.epoch,
-                ),
-                self.osdmap.address_of(replica),
+                rep, self.osdmap.address_of(replica)
             )
         self.env.process(
             self._commit_and_reply(msg, txn, inflight, repop_tid),
@@ -659,6 +714,14 @@ class OsdDaemon:
         yield from thread.charge(self.config.repop_cpu)
         pgid = PgId(self.osdmap.pool_by_name(msg.pool).id, msg.pg_seed)
         pg = self.refresh_pg(pgid)
+        ctx = getattr(msg, "span_ctx", None)
+        if ctx is not None:
+            repop_span = ctx.start_span(
+                "osd.repop", self.env.now, thread=thread,
+                nbytes=msg.length,
+            )
+            repop_span.tag("osd", self.osd_id)
+            msg.repop_span = repop_span  # type: ignore[attr-defined]
         txn = Transaction()
         if pgid not in self.member_pgs:
             txn.create_collection(pg.collection)
@@ -666,8 +729,12 @@ class OsdDaemon:
             txn.write(
                 pg.collection, msg.object_name, msg.offset, msg.length, msg.data
             )
+            if ctx is not None:
+                txn.span_ctx = msg.repop_span.context  # type: ignore[attr-defined]
         else:
             txn.remove(pg.collection, msg.object_name)
+            if ctx is not None:
+                txn.span_ctx = msg.repop_span.context  # type: ignore[attr-defined]
         pg.repops_applied += 1
         self.repops += 1
         self.env.process(
@@ -680,6 +747,7 @@ class OsdDaemon:
         thread = self._completion_thread
         inc = self.incarnation
         result = 0
+        repop_span = getattr(msg, "repop_span", None)
         try:
             yield from self.store.queue_transaction(txn, thread)
         except StoreError:
@@ -687,12 +755,20 @@ class OsdDaemon:
         if self.incarnation != inc or not self.alive:
             # committed to disk pre-crash, but the daemon that promised
             # the ack is gone; the primary stalls and the client resends
+            if repop_span is not None:
+                repop_span.error(self.env.now, "osd-crashed")
             _release(msg)
             return
-        self.messenger.send_message(
-            MOSDRepOpReply(tid=msg.tid, result=result), msg.src
-        )
+        reply = MOSDRepOpReply(tid=msg.tid, result=result)
+        if repop_span is not None:
+            reply.span_ctx = getattr(msg, "span_ctx", None)  # type: ignore[attr-defined]
+            reply.origin_span = repop_span  # type: ignore[attr-defined]
+        self.messenger.send_message(reply, msg.src)
         _release(msg)
+        if repop_span is not None:
+            repop_span.finish(
+                self.env.now, status="error" if result != 0 else "ok"
+            )
 
     def __repr__(self) -> str:
         return f"<OsdDaemon {self.name} pgs={len(self.pgs)}>"
@@ -706,10 +782,16 @@ def _release(msg: Message) -> None:
 
 
 def _mark(msg: Message, now: float, stage: str) -> None:
-    """Record a stage transition on a tracked op (no-op untracked)."""
+    """Record a stage transition on a tracked op (no-op untracked).
+
+    The same mark is folded into the op's span as a span event, so the
+    OpTracker stage view and the trace view cannot drift."""
     tracked = getattr(msg, "tracked_op", None)
     if tracked is not None:
         tracked.mark(now, stage)
+    span = getattr(msg, "op_span", None)
+    if span is not None:
+        span.event(now, stage)
 
 
 def _complete(osd: "OsdDaemon", msg: Message) -> None:

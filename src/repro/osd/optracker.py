@@ -37,21 +37,34 @@ class TrackedOp:
             return None
         return self.completed_at - self.initiated_at
 
-    def stage_durations(self) -> list[tuple[str, float]]:
-        """(stage, time spent until the next stage) pairs."""
+    def stage_durations(
+        self, now: Optional[float] = None
+    ) -> list[tuple[str, float]]:
+        """(stage, time spent until the next stage) pairs.
+
+        For a completed op the final stage ends at ``completed_at``.
+        For an op still in flight the final stage is ongoing: pass
+        ``now`` to report its elapsed time so far (without it the last
+        mark itself is the best available end, i.e. zero elapsed)."""
         if not self.events:
             return []
         out = []
         times = [t for t, _ in self.events]
         names = [s for _, s in self.events]
-        ends = times[1:] + [self.completed_at or times[-1]]
+        if self.completed_at is not None:
+            last_end = self.completed_at
+        elif now is not None:
+            last_end = max(now, times[-1])
+        else:
+            last_end = times[-1]
+        ends = times[1:] + [last_end]
         for name, start, end in zip(names, times, ends):
             out.append((name, end - start))
         return out
 
-    def stage_time(self, stage: str) -> float:
+    def stage_time(self, stage: str, now: Optional[float] = None) -> float:
         """Total time attributed to one (possibly repeated) stage."""
-        return sum(d for s, d in self.stage_durations() if s == stage)
+        return sum(d for s, d in self.stage_durations(now) if s == stage)
 
 
 class OpTracker:

@@ -110,6 +110,11 @@ class RadosClient:
         self._pending: dict[int, Event] = {}
         self._sent_at: dict[int, float] = {}
         self._tid = 0
+        #: Optional :class:`repro.trace.Tracer`; when set, every op
+        #: mints a root span and each attempt a child span that rides
+        #: the ``MOSDOp`` through the stack.  ``None`` (default) keeps
+        #: the client entirely untraced.
+        self.tracer: Any = None
         messenger.register_dispatcher(self)
 
         # statistics
@@ -212,6 +217,17 @@ class RadosClient:
             raise RadosError(-107, "client not booted")
         t0 = self.env.now
         attempt = 0
+        client_cpu = self.messenger.stack.cpu.name
+        root_span = None
+        attempt_span = None
+        if self.tracer is not None:
+            root_span = self.tracer.start_span(
+                f"client.{op.name}", t0, cpu=client_cpu,
+                category="client", thread_name=self.messenger.name,
+                nbytes=size,
+            )
+            root_span.tag("pool", pool)
+            root_span.tag("oid", oid)
         while True:
             attempt += 1
             pgid = self.osdmap.object_to_pg(pool, oid)
@@ -222,9 +238,13 @@ class RadosClient:
                 # to heal and retry (bounded like any other attempt)
                 if self.op_timeout is None or attempt >= self.max_attempts:
                     self.ops_failed += 1
+                    if root_span is not None:
+                        root_span.error(self.env.now, "no-acting-set")
                     raise RadosError(
                         -110, f"{op.name} {pool}/{oid}: no acting set"
                     ) from None
+                if root_span is not None:
+                    root_span.event(self.env.now, "no-acting-set")
                 yield self.env.timeout(self.retry_backoff * attempt)
                 yield from self._refetch_map()
                 continue
@@ -234,20 +254,38 @@ class RadosClient:
             self._sent_at[tid] = self.env.now
             if attempt > 1:
                 self.resends += 1
+            if root_span is not None:
+                prev_attempt = attempt_span
+                attempt_span = root_span.child(
+                    "client.attempt", self.env.now, cpu=client_cpu,
+                    category="client", thread_name=self.messenger.name,
+                    nbytes=size,
+                )
+                attempt_span.tag("attempt", attempt)
+                attempt_span.tag("tid", tid)
+                attempt_span.tag("osd", primary)
+                if prev_attempt is not None:
+                    attempt_span.link(prev_attempt, "retry")
+            msg = MOSDOp(
+                tid=tid, pool=pool, object_name=oid, op=op,
+                length=size, offset=offset, data=data,
+                map_epoch=self.osdmap.epoch,
+            )
+            if attempt_span is not None:
+                msg.span_ctx = attempt_span.context  # type: ignore[attr-defined]
             self.messenger.send_message(
-                MOSDOp(
-                    tid=tid, pool=pool, object_name=oid, op=op,
-                    length=size, offset=offset, data=data,
-                    map_epoch=self.osdmap.epoch,
-                ),
-                self.osdmap.address_of(primary),
+                msg, self.osdmap.address_of(primary)
             )
             reply = yield from self._await_reply(tid, ev)
             if reply is not None:
                 break
             self.timeouts += 1
+            if attempt_span is not None:
+                attempt_span.error(self.env.now, "timeout")
             if attempt >= self.max_attempts:
                 self.ops_failed += 1
+                if root_span is not None:
+                    root_span.error(self.env.now, "timeout")
                 raise RadosError(
                     -110,
                     f"{op.name} {pool}/{oid}: timed out after "
@@ -257,11 +295,18 @@ class RadosClient:
             yield self.env.timeout(self.retry_backoff * attempt)
         latency = self.env.now - t0
         self.ops_completed += 1
+        if attempt_span is not None:
+            attempt_span.finish(self.env.now)
         # -ENOENT on stat/read is an answer, not a failure; everything
         # else non-zero raises.
         benign = reply.result == -2 and op in (OpType.STAT, OpType.READ)
         if reply.result != 0 and not benign:
+            if root_span is not None:
+                root_span.error(self.env.now, f"result={reply.result}")
             raise RadosError(reply.result, f"{op.name} {pool}/{oid}")
+        if root_span is not None:
+            root_span.tag("result", reply.result)
+            root_span.finish(self.env.now)
         return OpResult(
             tid=tid, result=reply.result, latency=latency,
             data=reply.data, version=reply.version,

@@ -1,0 +1,666 @@
+"""Cross-layer distributed tracing with critical-path analysis.
+
+The paper's headline claim is *where* cycles go — ``msgr-worker`` vs
+``bstore`` vs ``tp_osd_tp``, host vs DPU — but ``CpuSampler`` windows
+and ``OpTracker`` stage marks only answer that in aggregate.  This
+module follows a *single* operation end to end:
+
+``RadosClient`` op → messenger send/recv (context carried on the
+``Message``) → OSD opqueue/PG → ``ProxyObjectStore`` dispatch → RPC call
+or DMA pipeline segments (one span per 2 MB segment, so stage/transmit
+overlap is visible) → host BlueStore ``queue_transaction`` → replication
+sub-ops.  Each span records simulated begin/end times, the node + CPU
+complex + thread category that executed it, and byte counts.
+
+Design rules
+------------
+
+**Determinism.**  A :class:`Tracer` mints trace/span ids from its own
+:class:`~repro.util.rng.SeededRng` stream, so two runs with the same
+seed produce byte-identical span sets (see :meth:`TraceReport.fingerprint`).
+
+**Zero perturbation.**  Tracing hooks are synchronous Python
+bookkeeping only: no simulation events, no timeouts, no CPU charges, no
+draws from any shared RNG stream.  With no tracer attached (the
+default) every hook is a guarded no-op and the event sequence is
+bit-identical to an untraced run; with a tracer attached only
+*observation* changes, never simulated timing.
+
+**Causality model.**  Parent/child edges are *time-nested* (a child
+begins and ends within its parent).  Causality that is not time-nested
+— a receive that starts after its send finished, a retry that follows a
+failed attempt — is expressed as span *links* instead, so the span tree
+stays well-formed under the nesting invariant.
+
+Critical-path extraction walks backwards from a root span's end: at
+each step the predecessor is the child-or-link with the latest end time
+not after the cursor; the gap between that end and the cursor is the
+current span's *exclusive* (self) time.  Summing exclusive time by span
+name answers "what would speeding up DMA actually buy".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from .util.rng import SeededRng
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "TraceReport",
+    "PathStep",
+    "simulation_digest",
+]
+
+#: Tolerance for float comparisons on simulated timestamps.
+EPS = 1e-9
+
+
+class Span:
+    """One timed unit of work attributed to a node/CPU/thread.
+
+    Created through :meth:`Tracer.start_span` (or
+    :meth:`SpanContext.start_span`); finished explicitly with
+    :meth:`finish` / :meth:`error`.  All mutators are plain attribute
+    updates — no simulation side effects.
+    """
+
+    __slots__ = (
+        "tracer", "trace_id", "span_id", "parent", "parent_id", "name",
+        "node", "cpu", "thread", "category", "begin", "end", "nbytes",
+        "status", "tags", "events", "links",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: int,
+        span_id: int,
+        parent: Optional["Span"],
+        name: str,
+        begin: float,
+        node: str,
+        cpu: str,
+        thread: str,
+        category: str,
+        nbytes: int = 0,
+    ) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent = parent
+        self.parent_id = parent.span_id if parent is not None else None
+        self.name = name
+        self.begin = begin
+        self.end: Optional[float] = None
+        self.node = node
+        self.cpu = cpu
+        self.thread = thread
+        self.category = category
+        self.nbytes = nbytes
+        self.status = "ok"
+        self.tags: dict[str, Any] = {}
+        self.events: list[tuple[float, str]] = []
+        #: (span_id, kind) causal links that are not time-nested
+        #: (``follows``: cross-wire/async causality, ``retry``: this span
+        #: retries the linked failed span).
+        self.links: list[tuple[int, str]] = []
+
+    # -- mutators ----------------------------------------------------------
+    def event(self, t: float, name: str) -> None:
+        """Record a point-in-time annotation (OpTracker stage marks are
+        folded in through here, so the two facilities cannot drift)."""
+        self.events.append((t, name))
+
+    def tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def link(self, other: "Span | int", kind: str = "follows") -> None:
+        """Add a causal link to another span (by object or id)."""
+        other_id = other.span_id if isinstance(other, Span) else other
+        self.links.append((other_id, kind))
+
+    def finish(self, now: float, status: Optional[str] = None) -> None:
+        if self.end is None:
+            self.end = now
+        if status is not None:
+            self.status = status
+
+    def error(self, now: float, reason: str) -> None:
+        """Finish the span in error state with a reason tag."""
+        self.tag("error", reason)
+        self.finish(now, status="error")
+
+    # -- context -----------------------------------------------------------
+    @property
+    def context(self) -> "SpanContext":
+        """The propagation handle carried on messages/transactions."""
+        return SpanContext(self.tracer, self)
+
+    def child(self, name: str, now: float, **kw: Any) -> "Span":
+        return self.tracer.start_span(name, now, parent=self, **kw)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.begin
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name} [{self.begin:.6f}"
+            f"..{'?' if self.end is None else format(self.end, '.6f')}]"
+            f" {self.node}/{self.category}>"
+        )
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """What actually travels between layers: tracer + active span.
+
+    Messages, transactions and RPC requests carry one as a dynamic
+    ``span_ctx`` attribute (the same idiom as ``tracked_op`` /
+    ``throttle_release``); layers that find ``None`` skip all tracing.
+    """
+
+    tracer: "Tracer"
+    span: Span
+
+    @property
+    def trace_id(self) -> int:
+        return self.span.trace_id
+
+    @property
+    def span_id(self) -> int:
+        return self.span.span_id
+
+    def start_span(self, name: str, now: float, **kw: Any) -> Span:
+        """Start a child span of this context."""
+        return self.tracer.start_span(name, now, parent=self.span, **kw)
+
+
+class Tracer:
+    """Mints deterministic ids, owns the span list and the CPU ledger.
+
+    ``seed`` feeds a private :class:`SeededRng` stream used *only* for
+    id minting — no shared simulation stream is ever consumed, so
+    attaching a tracer cannot shift any other random draw.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._ids = SeededRng(seed).child("trace").stream("ids")
+        self._used_ids: set[int] = set()
+        self.spans: list[Span] = []
+        #: (t_complete, cpu_name, category, busy_seconds) — appended by
+        #: the :class:`~repro.hw.cpu.CpuComplex` observer hook at the
+        #: instant each charge finishes, i.e. exactly when the complex's
+        #: own accounting is updated.  This is the ledger the span-level
+        #: attribution is cross-checked against ``CpuSampler`` windows.
+        self.cpu_samples: list[tuple[float, str, str, float]] = []
+        self.cluster: Any = None
+
+    # -- ids ---------------------------------------------------------------
+    def _mint_id(self) -> int:
+        while True:
+            i = self._ids.getrandbits(64)
+            if i not in self._used_ids:
+                self._used_ids.add(i)
+                return i
+
+    # -- span creation -----------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        now: float,
+        *,
+        parent: Optional[Span] = None,
+        trace_id: Optional[int] = None,
+        thread: Any = None,
+        node: Optional[str] = None,
+        cpu: Optional[str] = None,
+        category: Optional[str] = None,
+        thread_name: Optional[str] = None,
+        nbytes: int = 0,
+    ) -> Span:
+        """Start a span.  ``thread`` may be a
+        :class:`~repro.hw.cpu.SimThread`, from which node/CPU/category
+        are derived; explicit keywords override."""
+        if thread is not None:
+            cpu = cpu or thread.cpu.name
+            category = category or thread.category
+            thread_name = thread_name or thread.name
+        if cpu is not None and node is None:
+            node = cpu.split(".")[0]
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else self._mint_id()
+        span = Span(
+            tracer=self,
+            trace_id=trace_id,
+            span_id=self._mint_id(),
+            parent=parent,
+            name=name,
+            begin=now,
+            node=node or "?",
+            cpu=cpu or "?",
+            thread=thread_name or "?",
+            category=category or "?",
+            nbytes=nbytes,
+        )
+        self.spans.append(span)
+        return span
+
+    # -- CPU observer ------------------------------------------------------
+    def on_cpu(
+        self, category: str, thread: str, cpu_name: str, now: float,
+        busy: float,
+    ) -> None:
+        """CpuComplex observer hook: mirror one completed charge."""
+        self.cpu_samples.append((now, cpu_name, category, busy))
+
+    def cpu_attribution(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        cpus: Optional[Iterable[str]] = None,
+    ) -> dict[str, float]:
+        """Busy seconds per category over ``(start, end]``, optionally
+        restricted to a set of CPU complex names."""
+        names = set(cpus) if cpus is not None else None
+        out: dict[str, float] = {}
+        for t, cpu_name, category, busy in self.cpu_samples:
+            if start is not None and t <= start + EPS:
+                continue
+            if end is not None and t > end + EPS:
+                continue
+            if names is not None and cpu_name not in names:
+                continue
+            out[category] = out.get(category, 0.0) + busy
+        return out
+
+    # -- wiring ------------------------------------------------------------
+    def attach_cluster(self, cluster: Any) -> None:
+        """Wire this tracer into a built cluster: the client mints root
+        spans, every CPU complex reports completed charges."""
+        self.cluster = cluster
+        cluster.tracer = self
+        if cluster.client is not None:
+            cluster.client.tracer = self
+        complexes = list(cluster.host_cpus()) + list(cluster.dpu_cpus())
+        if cluster.client_cpu is not None:
+            complexes.append(cluster.client_cpu)
+        for cpu in complexes:
+            cpu.observer = self.on_cpu
+
+    def report(
+        self, window: Optional[tuple[float, float]] = None
+    ) -> "TraceReport":
+        return TraceReport(spans=list(self.spans),
+                           cpu_samples=list(self.cpu_samples),
+                           window=window, seed=self.seed)
+
+
+# ---------------------------------------------------------------------------
+# analysis
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of a critical path: ``span`` is on the path and
+    ``(t0, t1)`` is the interval exclusively attributed to it."""
+
+    span: Span
+    t0: float
+    t1: float
+
+    @property
+    def self_time(self) -> float:
+        return self.t1 - self.t0
+
+
+def _canonical_span(span: Span) -> dict[str, Any]:
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "node": span.node,
+        "cpu": span.cpu,
+        "thread": span.thread,
+        "category": span.category,
+        "begin": round(span.begin, 9),
+        "end": None if span.end is None else round(span.end, 9),
+        "nbytes": span.nbytes,
+        "status": span.status,
+        "tags": {k: span.tags[k] for k in sorted(span.tags)},
+        "events": [(round(t, 9), name) for t, name in span.events],
+        "links": sorted(span.links),
+    }
+
+
+@dataclass
+class TraceReport:
+    """The analyzed view over one run's spans.
+
+    Attached to :class:`~repro.bench.radosbench.BenchResult` when a
+    tracer is wired into the cluster; also the object behind the
+    ``repro trace`` CLI subcommand.
+    """
+
+    spans: list[Span]
+    cpu_samples: list[tuple[float, str, str, float]] = field(
+        default_factory=list
+    )
+    #: Measurement window ``(open, close)`` the CPU cross-check uses.
+    window: Optional[tuple[float, float]] = None
+    seed: int = 0
+
+    # -- structure ---------------------------------------------------------
+    def traces(self) -> dict[int, list[Span]]:
+        """Spans grouped by trace id."""
+        out: dict[int, list[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def find(self, name_prefix: str) -> list[Span]:
+        return [s for s in self.spans if s.name.startswith(name_prefix)]
+
+    # -- determinism -------------------------------------------------------
+    def fingerprint(self) -> str:
+        """sha256 over the canonicalized span set.
+
+        Spans are sorted by (begin, trace id, span id); timestamps are
+        rounded to nanoseconds.  Two runs with the same seeds must
+        produce identical fingerprints."""
+        docs = [
+            _canonical_span(s)
+            for s in sorted(
+                self.spans, key=lambda s: (s.begin, s.trace_id, s.span_id)
+            )
+        ]
+        blob = json.dumps(docs, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # -- critical path -----------------------------------------------------
+    def critical_path(self, root: Span) -> list[PathStep]:
+        """Longest causal chain ending at ``root``'s end.
+
+        Walks backwards from the root's end.  At each cursor position
+        the predecessor is the child (or link target) of the current
+        span with the latest end at or before the cursor; the uncovered
+        remainder is the current span's exclusive time.  When no
+        predecessor qualifies, the stretch back to the span's begin is
+        exclusive and the walk *ascends* to the parent at that begin —
+        so the chain crosses wire hops (via the reply spans'
+        ``follows`` links) and continues through the request side all
+        the way back to the client issue time."""
+        if root.end is None:
+            return []
+        members = {
+            s.span_id: s
+            for s in self.spans
+            if s.trace_id == root.trace_id
+        }
+        children: dict[int, list[Span]] = {}
+        for s in members.values():
+            if s.parent_id is not None and s.parent_id in members:
+                children.setdefault(s.parent_id, []).append(s)
+
+        def predecessors(span: Span) -> list[Span]:
+            preds = list(children.get(span.span_id, []))
+            for other_id, _kind in span.links:
+                other = members.get(other_id)
+                if other is not None:
+                    preds.append(other)
+            return preds
+
+        steps: list[PathStep] = []
+        span, cursor = root, root.end
+        visited: set[int] = {root.span_id}
+        while True:
+            cands = [
+                p for p in predecessors(span)
+                if p.span_id not in visited
+                and p.end is not None
+                and p.end <= cursor + EPS
+            ]
+            if cands:
+                pred = max(cands, key=lambda p: (p.end, p.span_id))
+                steps.append(PathStep(span, pred.end, cursor))  # type: ignore[arg-type]
+                span, cursor = pred, pred.end  # type: ignore[assignment]
+                visited.add(span.span_id)
+                continue
+            begin = min(span.begin, cursor)
+            steps.append(PathStep(span, begin, cursor))
+            parent = (
+                members.get(span.parent_id)
+                if span.parent_id is not None else None
+            )
+            if parent is None:
+                break
+            span, cursor = parent, begin
+        steps.reverse()
+        return steps
+
+    def critical_path_summary(self) -> dict[str, float]:
+        """Mean exclusive seconds per span name along the critical path,
+        averaged over every completed root trace."""
+        totals: dict[str, float] = {}
+        n = 0
+        for root in self.roots():
+            if root.end is None:
+                continue
+            n += 1
+            for step in self.critical_path(root):
+                totals[step.span.name] = (
+                    totals.get(step.span.name, 0.0) + step.self_time
+                )
+        if n == 0:
+            return {}
+        return {name: t / n for name, t in sorted(totals.items())}
+
+    # -- CPU cross-check ---------------------------------------------------
+    def cpu_attribution(
+        self, cpus: Optional[Iterable[str]] = None
+    ) -> dict[str, float]:
+        """Busy seconds per category from the charge-completion ledger,
+        clipped to the report window."""
+        start, end = self.window if self.window else (None, None)
+        names = set(cpus) if cpus is not None else None
+        out: dict[str, float] = {}
+        for t, cpu_name, category, busy in self.cpu_samples:
+            if start is not None and t <= start + EPS:
+                continue
+            if end is not None and t > end + EPS:
+                continue
+            if names is not None and cpu_name not in names:
+                continue
+            out[category] = out.get(category, 0.0) + busy
+        return out
+
+    def cpu_crosscheck(
+        self, windows: Iterable[Any]
+    ) -> dict[str, tuple[float, float]]:
+        """Per-category (trace-attributed, sampler-measured) busy
+        seconds over the same CPU complexes — the acceptance criterion
+        is agreement within 5 % per category.
+
+        ``windows`` are :class:`~repro.bench.metrics.CpuWindow` objects
+        (their names identify the complexes to compare). A complex
+        counts once even if several windows name it — baseline runs
+        report the same host window as both the Ceph and the host
+        view."""
+        windows = list({w.name: w for w in windows}.values())
+        names = {w.name for w in windows}
+        traced = self.cpu_attribution(cpus=names)
+        sampled: dict[str, float] = {}
+        for w in windows:
+            for category, busy in w.busy_by_category.items():
+                sampled[category] = sampled.get(category, 0.0) + busy
+        return {
+            category: (traced.get(category, 0.0), sampled.get(category, 0.0))
+            for category in sorted(set(traced) | set(sampled))
+        }
+
+    # -- exporters ---------------------------------------------------------
+    def to_perfetto(self) -> dict[str, Any]:
+        """Chrome/Perfetto trace-event JSON (load in ui.perfetto.dev).
+
+        One process per node, one thread per simulated thread; spans are
+        complete ("X") events in microseconds; links become flow
+        ("s"/"f") events so send→recv and retry causality renders as
+        arrows."""
+        pids: dict[str, int] = {}
+        tids: dict[tuple[str, str], int] = {}
+        events: list[dict[str, Any]] = []
+
+        def pid_of(node: str) -> int:
+            if node not in pids:
+                pids[node] = len(pids) + 1
+                events.append({
+                    "name": "process_name", "ph": "M", "pid": pids[node],
+                    "args": {"name": node},
+                })
+            return pids[node]
+
+        def tid_of(node: str, thread: str) -> int:
+            key = (node, thread)
+            if key not in tids:
+                tids[key] = len(tids) + 1
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid_of(node),
+                    "tid": tids[key], "args": {"name": thread},
+                })
+            return tids[key]
+
+        span_pos: dict[int, tuple[int, int, float]] = {}
+        for span in self.spans:
+            pid = pid_of(span.node)
+            tid = tid_of(span.node, span.thread)
+            end = span.end if span.end is not None else span.begin
+            args: dict[str, Any] = {
+                "trace_id": f"{span.trace_id:016x}",
+                "span_id": f"{span.span_id:016x}",
+                "category": span.category,
+                "cpu": span.cpu,
+                "status": span.status,
+            }
+            if span.nbytes:
+                args["nbytes"] = span.nbytes
+            if span.tags:
+                args.update({f"tag.{k}": v for k, v in span.tags.items()})
+            if span.events:
+                args["events"] = [
+                    {"t_us": round(t * 1e6, 3), "name": name}
+                    for t, name in span.events
+                ]
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": round(span.begin * 1e6, 3),
+                "dur": round((end - span.begin) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+            span_pos[span.span_id] = (pid, tid, span.begin)
+
+        flow_id = 0
+        for span in self.spans:
+            for other_id, kind in span.links:
+                src = span_pos.get(other_id)
+                if src is None:
+                    continue
+                flow_id += 1
+                src_pid, src_tid, _ = src
+                src_span = next(
+                    (s for s in self.spans if s.span_id == other_id), None
+                )
+                src_ts = (
+                    src_span.end if src_span is not None
+                    and src_span.end is not None else span.begin
+                )
+                events.append({
+                    "name": kind, "cat": "flow", "ph": "s", "id": flow_id,
+                    "ts": round(src_ts * 1e6, 3),
+                    "pid": src_pid, "tid": src_tid,
+                })
+                pid, tid, begin = span_pos[span.span_id]
+                events.append({
+                    "name": kind, "cat": "flow", "ph": "f", "bp": "e",
+                    "id": flow_id, "ts": round(begin * 1e6, 3),
+                    "pid": pid, "tid": tid,
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def flame_summary(self, limit: int = 20) -> str:
+        """Text flame view: per span name, count, total/mean wall time,
+        critical-path exclusive time, and bytes."""
+        by_name: dict[str, list[Span]] = {}
+        for span in self.spans:
+            by_name.setdefault(span.name, []).append(span)
+        crit = self.critical_path_summary()
+        lines = [
+            f"{'span':<26}{'count':>7}{'total_s':>10}{'mean_ms':>9}"
+            f"{'crit_ms':>9}{'MB':>8}"
+        ]
+        rows = []
+        for name, spans in by_name.items():
+            finished = [s for s in spans if s.end is not None]
+            total = sum(s.end - s.begin for s in finished)  # type: ignore[operator]
+            mean = total / len(finished) if finished else 0.0
+            nbytes = sum(s.nbytes for s in spans)
+            rows.append((total, name, len(spans), mean, nbytes))
+        rows.sort(reverse=True)
+        for total, name, count, mean, nbytes in rows[:limit]:
+            lines.append(
+                f"{name:<26}{count:>7}{total:>10.3f}{mean * 1e3:>9.3f}"
+                f"{crit.get(name, 0.0) * 1e3:>9.3f}{nbytes / 1e6:>8.1f}"
+            )
+        errors = sum(1 for s in self.spans if s.status == "error")
+        open_spans = sum(1 for s in self.spans if s.end is None)
+        lines.append(
+            f"spans={len(self.spans)} traces={len(self.traces())}"
+            f" errors={errors} unfinished={open_spans}"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable summary (what BENCH_*.json embeds)."""
+        return {
+            "spans": len(self.spans),
+            "traces": len(self.traces()),
+            "errors": sum(1 for s in self.spans if s.status == "error"),
+            "unfinished": sum(1 for s in self.spans if s.end is None),
+            "fingerprint": self.fingerprint(),
+            "critical_path_mean_s": {
+                name: round(t, 9)
+                for name, t in self.critical_path_summary().items()
+            },
+            "cpu_by_category_s": {
+                category: round(busy, 9)
+                for category, busy in sorted(self.cpu_attribution().items())
+            },
+        }
+
+
+def simulation_digest(env: Any) -> str:
+    """Digest of a run's event-sequence identity.
+
+    ``env._seq`` counts every event ever scheduled; together with the
+    final clock it pins down the shape of the whole run — any extra
+    timeout, process or charge introduced by tracing would change it.
+    Used by the zero-perturbation tests and the CI trace-smoke job."""
+    doc = {"seq": getattr(env, "_seq", None), "now": round(env.now, 9)}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -36,9 +36,10 @@ def test_parser_accepts_all_experiments():
         assert args.duration == 5.0
 
 
-def test_bench_command_runs(capsys):
+def test_bench_command_runs(capsys, tmp_path):
     code = main(["bench", "--mode", "baseline", "--size", "1M",
-                 "--clients", "2", "--duration", "2"])
+                 "--clients", "2", "--duration", "2",
+                 "--json-dir", str(tmp_path)])
     assert code == 0
     out = capsys.readouterr().out
     assert "iops:" in out
@@ -46,9 +47,58 @@ def test_bench_command_runs(capsys):
     assert "mode=baseline" in out
 
 
-def test_fig7_command_runs(capsys):
-    code = main(["fig7", "--duration", "2"])
+def test_bench_command_writes_json(tmp_path):
+    import json
+
+    code = main(["bench", "--mode", "doceph", "--size", "1M",
+                 "--clients", "2", "--duration", "2",
+                 "--json-dir", str(tmp_path)])
+    assert code == 0
+    path = tmp_path / "BENCH_bench_doceph_1M.json"
+    assert path.exists()
+    doc = json.loads(path.read_text())
+    assert doc["completed_ops"] > 0
+    assert doc["latency_s"]["p99"] >= doc["latency_s"]["p50"]
+    assert "ceph_breakdown" in doc["cpu"]
+
+
+def test_bench_no_json(capsys, tmp_path):
+    code = main(["bench", "--mode", "baseline", "--size", "1M",
+                 "--clients", "2", "--duration", "2", "--no-json",
+                 "--json-dir", str(tmp_path)])
+    assert code == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_fig7_command_runs(capsys, tmp_path):
+    import json
+
+    code = main(["fig7", "--duration", "2", "--json-dir", str(tmp_path)])
     assert code == 0
     out = capsys.readouterr().out
     assert "Fig. 7" in out
     assert "doceph(paper)" in out
+    doc = json.loads((tmp_path / "BENCH_fig7.json").read_text())
+    assert len(doc["points"]) == 4
+    for point in doc["points"]:
+        assert point["baseline"]["iops"] > 0
+        assert point["doceph"]["cpu"]["host_utilization_pct"] < (
+            point["baseline"]["cpu"]["host_utilization_pct"]
+        )
+
+
+def test_trace_command_runs(capsys, tmp_path):
+    import json
+
+    out_file = tmp_path / "trace.json"
+    code = main(["trace", "--mode", "doceph", "--size", "1M",
+                 "--clients", "2", "--duration", "2", "--replay",
+                 "--out", str(out_file)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace fingerprint:" in out
+    assert "replay: identical fingerprint" in out
+    doc = json.loads(out_file.read_text())
+    assert doc["traceEvents"]
+    kinds = {ev["ph"] for ev in doc["traceEvents"]}
+    assert {"X", "M", "s", "f"} <= kinds

@@ -38,6 +38,24 @@ def test_stage_durations():
     assert op.stage_time("missing") == 0.0
 
 
+def test_stage_durations_in_flight_uses_now():
+    t = OpTracker()
+    op = t.create("x", 0.0)
+    op.mark(1.0, "a")
+    # still in flight: without `now` the ongoing stage reports zero
+    assert dict(op.stage_durations())["a"] == pytest.approx(0.0)
+    # with `now` the final stage reports its elapsed time so far
+    stages = dict(op.stage_durations(now=4.0))
+    assert stages["initiated"] == pytest.approx(1.0)
+    assert stages["a"] == pytest.approx(3.0)
+    assert op.stage_time("a", now=4.0) == pytest.approx(3.0)
+    # a `now` before the last mark never yields a negative duration
+    assert dict(op.stage_durations(now=0.5))["a"] == 0.0
+    # completion takes precedence over `now`
+    t.complete(op, 6.0)
+    assert dict(op.stage_durations(now=99.0))["a"] == pytest.approx(5.0)
+
+
 def test_history_ring_bounded():
     t = OpTracker(history_size=3)
     for i in range(10):
