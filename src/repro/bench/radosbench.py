@@ -10,6 +10,7 @@ bench's built-in instrumentation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
@@ -57,6 +58,18 @@ class BenchResult:
     #: Trace report when a :class:`~repro.trace.Tracer` was attached at
     #: build time (None otherwise); window = the measurement window.
     trace: Optional[Any] = None
+    #: Wall-clock seconds the simulator spent producing this run
+    #: (engine speed, not a modelled observable — varies run to run).
+    wall_clock_s: float = 0.0
+    #: Kernel events the run scheduled (deterministic per seed).
+    engine_events: int = 0
+
+    @property
+    def engine_events_per_sec(self) -> float:
+        """Simulator throughput while producing this result."""
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.engine_events / self.wall_clock_s
 
     @property
     def avg_latency(self) -> float:
@@ -94,6 +107,8 @@ def run_rados_bench(
     env = cluster.env
     client = cluster.client
     assert client is not None
+    t_wall = time.perf_counter()
+    seq_start = env.events_scheduled
 
     if client.osdmap is None:
         boot = env.process(cluster.boot(), name="cluster-boot")
@@ -176,6 +191,8 @@ def run_rados_bench(
         faults=collect_fault_report(cluster),
         health=collect_health_report(cluster),
         trace=trace,
+        wall_clock_s=time.perf_counter() - t_wall,
+        engine_events=env.events_scheduled - seq_start,
     )
 
 
@@ -192,6 +209,8 @@ def run_read_bench(
     env = cluster.env
     client = cluster.client
     assert client is not None
+    t_wall = time.perf_counter()
+    seq_start = env.events_scheduled
     if client.osdmap is None:
         boot = env.process(cluster.boot(), name="cluster-boot")
         env.run(until=boot)
@@ -267,4 +286,6 @@ def run_read_bench(
         faults=collect_fault_report(cluster),
         health=collect_health_report(cluster),
         trace=trace,
+        wall_clock_s=time.perf_counter() - t_wall,
+        engine_events=env.events_scheduled - seq_start,
     )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import Callable, Sequence
 
@@ -327,6 +328,71 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, bool]:
     return "\n".join(lines), ok
 
 
+def _cmd_perf(args: argparse.Namespace) -> tuple[str, int]:
+    """Engine-speed benchmark: replay a scenario, report events/sec.
+
+    Returns (report text, exit code): 3 when a digest check fails (the
+    replay diverged from ``--baseline``, or the detached/noop hook runs
+    disagreed), 4 when wall-clock regressed more than
+    ``--max-regression`` times the baseline."""
+    from . import perf as perfmod
+
+    tracer = None
+    if args.trace:
+        from .trace import Tracer
+        tracer = Tracer(seed=args.seed)
+    result = perfmod.measure(
+        args.scenario, seed=args.seed, repeats=args.repeats,
+        profile=args.profile, tracer=tracer,
+    )
+    lines = [perfmod.format_perf_report(result)]
+    code = 0
+
+    if args.hook_overhead:
+        hov = perfmod.measure_hook_overhead(
+            args.scenario, seed=args.seed, repeats=args.repeats,
+        )
+        lines.append(
+            f"  hook overhead: detached {hov.detached_wall_s:.3f} s,"
+            f" noop-attached {hov.noop_wall_s:.3f} s"
+            f" ({hov.overhead_pct:+.1f} %)"
+        )
+        if hov.digests_equal:
+            lines.append("    digests: identical (noop plan is inert)")
+        else:
+            lines.append("    digests: MISMATCH — noop fault plan "
+                         "changed behavior")
+            code = 3
+
+    if args.baseline:
+        base = json.loads(pathlib.Path(args.baseline).read_text())
+        if base.get("digest") != result.digest:
+            lines.append(
+                f"baseline digest MISMATCH: expected {base.get('digest')}"
+                f" got {result.digest} — engine behavior changed"
+            )
+            code = 3
+        else:
+            lines.append("baseline digest: identical")
+            base_wall = float(base.get("wall_s", 0.0))
+            if base_wall > 0 and result.wall_s > args.max_regression * base_wall:
+                lines.append(
+                    f"wall-clock REGRESSION: {result.wall_s:.3f} s vs"
+                    f" baseline {base_wall:.3f} s"
+                    f" (> {args.max_regression:g}x allowed)"
+                )
+                code = 4
+            elif base_wall > 0:
+                lines.append(
+                    f"wall-clock vs baseline: {result.wall_s / base_wall:.2f}x"
+                    f" (limit {args.max_regression:g}x)"
+                )
+
+    _publish(args, f"perf_{args.scenario}",
+             perfmod.perf_result_dict(result))
+    return "\n".join(lines), code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -417,6 +483,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "fingerprints")
     chaos.add_argument("--json", action="store_true",
                        help="also print each report as JSON")
+
+    from .perf import SCENARIOS
+    perf = sub.add_parser(
+        "perf", help="engine-speed benchmark: replay a deterministic "
+                     "scenario, report events/sec + behavior digest")
+    perf.add_argument("--scenario", choices=sorted(SCENARIOS),
+                      default="fallback",
+                      help="named workload from repro.perf.SCENARIOS")
+    perf.add_argument("--seed", type=int, default=0,
+                      help="fault-plan / tracer seed for the replay")
+    perf.add_argument("--repeats", type=int, default=5,
+                      help="replay count; wall time is the fastest run "
+                           "(digests must all match)")
+    perf.add_argument("--profile", action="store_true",
+                      help="add a cProfile run and report the "
+                           "per-subsystem breakdown")
+    perf.add_argument("--trace", action="store_true",
+                      help="attach the tracer and report the trace "
+                           "fingerprint (slower; separate golden)")
+    perf.add_argument("--hook-overhead", action="store_true",
+                      help="also compare detached vs attached-noop "
+                           "fault-plan runs")
+    perf.add_argument("--baseline", default=None, metavar="FILE",
+                      help="prior BENCH_perf_<scenario>.json to compare "
+                           "against (digest must match; wall time must "
+                           "stay within --max-regression)")
+    perf.add_argument("--max-regression", type=float, default=3.0,
+                      help="allowed wall-clock ratio vs --baseline "
+                           "before exiting 4")
+    add_json_opts(perf)
     return parser
 
 
@@ -439,6 +535,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(text)
             if not ok:
                 return 3  # durability violation or non-determinism
+        elif args.command == "perf":
+            text, code = _cmd_perf(args)
+            print(text)
+            if code:
+                return code  # 3 = digest mismatch, 4 = wall regression
         else:
             print(_EXPERIMENTS[args.command](args))
     except ValueError as exc:

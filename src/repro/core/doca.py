@@ -29,7 +29,7 @@ __all__ = ["MemoryRegion", "CommChannel", "DocaDma"]
 _region_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRegion:
     """A fixed-size DMA-able buffer on one side of the PCIe bridge."""
 

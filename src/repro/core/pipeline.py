@@ -79,7 +79,7 @@ def union_length(intervals: list[tuple[float, float]]) -> float:
     return merged
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestTiming:
     """Latency breakdown of one proxied bulk transfer (Table 3 inputs).
 

@@ -53,7 +53,7 @@ def _store_error(exc: RpcError) -> StoreError:
     return StoreError(text)
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteBreakdown:
     """Table 3's per-write latency decomposition."""
 

@@ -56,7 +56,7 @@ class RpcError(Exception):
     """The host handler failed the request."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcRequest:
     """One attempt of one in-flight RPC (retries are new attempts)."""
 
@@ -175,6 +175,7 @@ class RpcChannel:
         req_id = next(self._req_ids)
         wire = payload.real_length + bulk_bytes + 32  # header
         tcp = self.profile.tcp
+        send_cpu, _, send_ctx, _ = tcp.costs(wire)
         attempts = 1 + max(0, self.max_retries)
         prev_span = None
         for attempt in range(attempts):
@@ -198,8 +199,8 @@ class RpcChannel:
                 attempt=attempt,
                 span_ctx=span.context if span is not None else None,
             )
-            yield from thread.charge(tcp.send_cpu(wire))
-            yield from thread.ctx_switch(tcp.send_ctx(wire))
+            yield from thread.charge(send_cpu)
+            yield from thread.ctx_switch(send_ctx)
             yield from self._to_host.transmit(wire)
             latency = self.node.pcie_rpc_latency
             lost = False
@@ -237,8 +238,9 @@ class RpcChannel:
                 # caller's complex — charge it, or fallback bulk reads
                 # undercount DPU CPU.
                 reply_wire = req.reply_wire_bytes or 64
-                yield from thread.charge(tcp.recv_cpu(reply_wire))
-                yield from thread.ctx_switch(tcp.recv_ctx(reply_wire))
+                _, recv_cpu, _, recv_ctx = tcp.costs(reply_wire)
+                yield from thread.charge(recv_cpu)
+                yield from thread.ctx_switch(recv_ctx)
                 self.calls += 1
                 self.bulk_bytes += bulk_bytes
                 if req.error is not None:
@@ -274,7 +276,7 @@ class RpcChannel:
             req: RpcRequest = yield self._server_queue.get()
             yield from thread.ctx_switch()
             wire = req.payload.real_length + req.bulk_bytes + 32
-            yield from thread.charge(tcp.recv_cpu(wire))
+            yield from thread.charge(tcp.costs(wire)[1])
             if req.req_id in self._done:
                 # retry of a completed request: replay the recorded
                 # outcome — handlers must not run twice (commits and
@@ -329,7 +331,7 @@ class RpcChannel:
     ) -> Generator[Any, Any, None]:
         # response path (small unless a read returns bulk data)
         reply_bytes = 64 + getattr(req.reply, "length", 0)
-        yield from thread.charge(self.profile.tcp.send_cpu(reply_bytes))
+        yield from thread.charge(self.profile.tcp.costs(reply_bytes)[0])
         if self.fault_injector is not None and self.fault_injector.fire(
             self.env.now, kind="reply_loss", size=reply_bytes
         ):

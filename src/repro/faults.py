@@ -160,6 +160,18 @@ class LayerInjector:
         self._rng = rng
         self._ops: dict[str, int] = {}
         self._burst_left: dict[int, int] = {}
+        # The overwhelmingly common shape — one always-active
+        # probabilistic spec with no burst — gets a fast path in
+        # :meth:`fire` that makes the identical RNG draw without
+        # walking the spec list or maintaining the nth-op counter
+        # (which only nth-triggered specs ever read).
+        self._simple = (
+            len(specs) == 1
+            and specs[0].window is None
+            and specs[0].nth is None
+            and specs[0].burst == 1
+            and 0.0 < specs[0].probability < 1.0
+        )
 
     def fire(
         self, now: float, kind: Optional[str] = None, size: int = 0
@@ -169,6 +181,12 @@ class LayerInjector:
         ``kind`` narrows matching for multi-kind layers (RPC); single-
         kind layers pass ``None``.  ``size`` feeds the byte counters.
         """
+        if self._simple and kind is None:
+            spec = self.specs[0]
+            if self._rng.random() < spec.probability:
+                self.plan._record(self.layer, spec.kind, size)
+                return spec
+            return None
         key = kind or ""
         index = self._ops.get(key, 0) + 1
         self._ops[key] = index

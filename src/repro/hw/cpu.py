@@ -28,7 +28,7 @@ from ..sim.exceptions import SimulationError
 __all__ = ["CpuAccounting", "CpuComplex", "SimThread", "CpuSnapshot"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuSnapshot:
     """Immutable copy of accounting totals at one instant."""
 
@@ -48,6 +48,8 @@ class CpuSnapshot:
 
 class CpuAccounting:
     """Cumulative per-category busy time and context-switch counts."""
+
+    __slots__ = ("busy_by_category", "ctx_by_category", "busy_by_thread")
 
     def __init__(self) -> None:
         self.busy_by_category: dict[str, float] = {}
@@ -101,6 +103,18 @@ class CpuComplex:
         into the TCP per-byte constants).
     """
 
+    __slots__ = (
+        "env",
+        "name",
+        "cores",
+        "perf",
+        "ctx_switch_cost",
+        "_core_pool",
+        "accounting",
+        "_start_time",
+        "observer",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -118,7 +132,8 @@ class CpuComplex:
         self.cores = cores
         self.perf = perf
         self.ctx_switch_cost = ctx_switch_cost
-        self._core_pool = Resource(env, capacity=cores)
+        self._core_pool = Resource(env, capacity=cores,
+                                   recycle_requests=True)
         self.accounting = CpuAccounting()
         self._start_time = env.now
         #: Optional charge-completion hook,
@@ -142,22 +157,32 @@ class CpuComplex:
         if work == 0:
             return
         wall = work / self.perf
-        with self._core_pool.request() as req:
+        pool = self._core_pool
+        req = pool.request()
+        try:
             yield req
-            yield self.env.timeout(wall)
+            yield self.env.sleep(wall)
             self.accounting.add_busy(category, thread, wall)
             if self.observer is not None:
                 self.observer(category, thread, self.name,
                               self.env.now, wall)
+        finally:
+            pool.finish(req)
 
     def record_ctx_switches(
         self, category: str, thread: str, count: int = 1
     ) -> Generator[Any, Any, None]:
-        """Record ``count`` context switches and charge their direct cost."""
+        """Record ``count`` context switches and charge their direct cost.
+
+        Returns the :meth:`execute` generator directly (callers
+        ``yield from`` it), avoiding an extra delegating frame on a very
+        hot path.
+        """
         self.accounting.add_ctx(category, count)
         cost = count * self.ctx_switch_cost
         if cost > 0:
-            yield from self.execute(category, thread, cost)
+            return self.execute(category, thread, cost)
+        return iter(())  # type: ignore[return-value]
 
     # -- observables -------------------------------------------------------------
     def utilization(
@@ -205,6 +230,8 @@ class SimThread:
       this thread.
     """
 
+    __slots__ = ("cpu", "name", "category")
+
     def __init__(self, cpu: CpuComplex, name: str, category: str) -> None:
         self.cpu = cpu
         self.name = name
@@ -215,12 +242,18 @@ class SimThread:
         return self.cpu.env
 
     def charge(self, work: float) -> Generator[Any, Any, None]:
-        """Execute ``work`` reference-seconds of CPU work."""
-        yield from self.cpu.execute(self.category, self.name, work)
+        """Execute ``work`` reference-seconds of CPU work.
+
+        Returns the underlying generator directly — each ``yield from
+        thread.charge(w)`` then drives :meth:`CpuComplex.execute` with
+        no wrapper frame in between (every park/resume would otherwise
+        traverse it).
+        """
+        return self.cpu.execute(self.category, self.name, work)
 
     def ctx_switch(self, count: int = 1) -> Generator[Any, Any, None]:
         """Record context switches (with their direct CPU cost)."""
-        yield from self.cpu.record_ctx_switches(self.category, self.name, count)
+        return self.cpu.record_ctx_switches(self.category, self.name, count)
 
     def spawn(
         self,

@@ -50,6 +50,24 @@ class DmaEngine:
         Hardware cap on a single transfer's size in bytes.
     """
 
+    __slots__ = (
+        "env",
+        "name",
+        "bandwidth",
+        "setup_latency",
+        "max_transfer",
+        "_channels",
+        "fault_hook",
+        "fault_injector",
+        "bytes_transferred",
+        "transfers",
+        "failures",
+        "failed_bytes",
+        "busy_time",
+        "setup_time",
+        "wait_time",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -66,7 +84,8 @@ class DmaEngine:
         self.bandwidth = bandwidth
         self.setup_latency = setup_latency
         self.max_transfer = max_transfer
-        self._channels = Resource(env, capacity=channels)
+        self._channels = Resource(env, capacity=channels,
+                                  recycle_requests=True)
 
         #: Optional fault hook: called with the transfer size, returns
         #: True to make this transfer raise :class:`DmaError`.
@@ -109,13 +128,15 @@ class DmaEngine:
         if extra_setup < 0:
             raise SimulationError(f"negative extra setup: {extra_setup}")
         t_req = self.env.now
-        with self._channels.request() as req:
+        channels = self._channels
+        req = channels.request()
+        try:
             yield req
             waited = self.env.now - t_req
             self.wait_time += waited
             setup = self.setup_latency + extra_setup
             duration = setup + nbytes / self.bandwidth
-            yield self.env.timeout(duration)
+            yield self.env.sleep(duration)
             self.busy_time += duration
             self.setup_time += setup
             if (self.fault_hook is not None and self.fault_hook(nbytes)) or (
@@ -132,6 +153,8 @@ class DmaEngine:
                 )
             self.transfers += 1
             self.bytes_transferred += nbytes
+        finally:
+            channels.finish(req)
         return waited
 
     def __repr__(self) -> str:

@@ -33,6 +33,18 @@ class BandwidthPipe:
     bytes and busy time so tests can verify conservation.
     """
 
+    __slots__ = (
+        "env",
+        "name",
+        "bandwidth_bps",
+        "chunk_bytes",
+        "_res",
+        "fault_injector",
+        "bytes_transferred",
+        "busy_time",
+        "degraded_chunks",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -48,7 +60,7 @@ class BandwidthPipe:
         self.name = name
         self.bandwidth_bps = bandwidth_bps
         self.chunk_bytes = chunk_bytes
-        self._res = Resource(env, capacity=1)
+        self._res = Resource(env, capacity=1, recycle_requests=True)
         #: Optional :class:`~repro.faults.LayerInjector` (layer "net");
         #: a hit stretches that chunk's serialization by the spec's
         #: ``factor`` (link degradation: retransmits, PFC pauses, FEC).
@@ -61,18 +73,29 @@ class BandwidthPipe:
         """Stream ``nbytes`` through the pipe (chunked, FIFO-fair)."""
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
+        # Hot loop: attribute lookups hoisted; the injector is wired at
+        # build time, so fetching the guard once per transfer is
+        # equivalent to checking it per chunk.
+        env = self.env
+        res = self._res
+        chunk_bytes = self.chunk_bytes
+        bandwidth = self.bandwidth_bps
+        injector = self.fault_injector
         remaining = nbytes
         while remaining > 0:
-            chunk = min(remaining, self.chunk_bytes)
-            ser = chunk * 8.0 / self.bandwidth_bps
-            if self.fault_injector is not None:
-                spec = self.fault_injector.fire(self.env.now, size=chunk)
+            chunk = chunk_bytes if remaining > chunk_bytes else remaining
+            ser = chunk * 8.0 / bandwidth
+            if injector is not None:
+                spec = injector.fire(env.now, size=chunk)
                 if spec is not None:
                     ser *= spec.factor
                     self.degraded_chunks += 1
-            with self._res.request() as req:
+            req = res.request()
+            try:
                 yield req
-                yield self.env.timeout(ser)
+                yield env.sleep(ser)
+            finally:
+                res.finish(req)
             self.bytes_transferred += chunk
             self.busy_time += ser
             remaining -= chunk
@@ -83,6 +106,8 @@ class BandwidthPipe:
 
 class Nic:
     """A network interface: tx + rx pipes and an address on the fabric."""
+
+    __slots__ = ("env", "name", "bandwidth_bps", "tx", "rx")
 
     def __init__(
         self,
@@ -226,7 +251,7 @@ class Network:
         env = self.env
 
         def rx_chunk(chunk: int) -> Generator[Any, Any, None]:
-            yield env.timeout(self.latency_s)
+            yield env.sleep(self.latency_s)
             yield from dst_nic.rx.transmit(chunk)
 
         rx_procs = []

@@ -29,7 +29,7 @@ The model:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["TcpStackModel"]
 
@@ -68,6 +68,26 @@ class TcpStackModel:
 
     ctx_per_wakeup: int = 1
     """Context switches recorded per epoll wakeup on the receive side."""
+
+    #: Memoized per-size cost tuples.  The cost functions are pure in
+    #: (constants, nbytes) and benches reuse a handful of wire sizes
+    #: millions of times, so the ceil/div arithmetic runs once per size.
+    _cost_cache: dict = field(default_factory=dict, init=False,
+                              repr=False, compare=False)
+
+    def costs(self, nbytes: int) -> tuple[float, float, int, int]:
+        """``(send_cpu, recv_cpu, send_ctx, recv_ctx)`` for ``nbytes``."""
+        cached = self._cost_cache.get(nbytes)
+        if cached is None:
+            cached = (
+                self.send_cpu(nbytes),
+                self.recv_cpu(nbytes),
+                self.send_ctx(nbytes),
+                self.recv_ctx(nbytes),
+            )
+            if len(self._cost_cache) < 4096:
+                self._cost_cache[nbytes] = cached
+        return cached
 
     def _nsyscalls(self, nbytes: int) -> int:
         return max(1, math.ceil(nbytes / self.syscall_bytes))

@@ -88,6 +88,16 @@ class Message:
 
     TYPE: ClassVar[MessageType]
 
+    #: Tracing/throttle annotations attached per-hop by the messenger
+    #: and OSD layers.  Class-level ``None`` defaults (ClassVar, so not
+    #: dataclass fields) let hot paths read them with a plain attribute
+    #: load instead of a ``getattr(..., None)`` default walk.
+    span_ctx: ClassVar[Any] = None
+    origin_span: ClassVar[Any] = None
+    op_span: ClassVar[Any] = None
+    repop_span: ClassVar[Any] = None
+    throttle_release: ClassVar[Any] = None
+
     src: str = ""
     tid: int = 0
     #: Model-level object reference riding alongside the wire bytes

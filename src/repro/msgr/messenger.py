@@ -195,7 +195,7 @@ class _Worker:
             kind = item[0]
             if kind == "send":
                 _, conn, msg = item
-                ctx = getattr(msg, "span_ctx", None)
+                ctx = msg.span_ctx
                 bl = msg.encode()
                 wire = len(bl) + _WIRE_OVERHEAD
                 send_span = None
@@ -210,12 +210,13 @@ class _Worker:
                     # them (osd.op / osd.repop); the link lets the
                     # critical-path walk cross from the reply wire back
                     # into that processing span
-                    origin = getattr(msg, "origin_span", None)
+                    origin = msg.origin_span
                     if origin is not None:
                         send_span.link(origin, "follows")
+                send_cpu, _, send_ctx, _ = tcp.costs(wire)
                 yield from thread.charge(cost.encode_cpu(wire))
-                yield from thread.charge(tcp.send_cpu(wire))
-                yield from thread.ctx_switch(tcp.send_ctx(wire))
+                yield from thread.charge(send_cpu)
+                yield from thread.ctx_switch(send_ctx)
                 conn._wire_queue.put((bl, msg, wire, send_span))
                 msgr.messages_sent += 1
                 msgr.bytes_sent += wire
@@ -230,8 +231,9 @@ class _Worker:
                     )
                     recv_span.link(sender_span, "follows")
                 # epoll wakeup + kernel receive path
-                yield from thread.ctx_switch(tcp.recv_ctx(wire))
-                yield from thread.charge(tcp.recv_cpu(wire))
+                _, recv_cpu, _, recv_ctx = tcp.costs(wire)
+                yield from thread.ctx_switch(recv_ctx)
+                yield from thread.charge(recv_cpu)
                 yield from thread.charge(cost.decode_cpu(wire))
                 msg = decode_message(bl, attachment)
                 if recv_span is not None:

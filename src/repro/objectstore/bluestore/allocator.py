@@ -79,30 +79,41 @@ class BitmapAllocator:
 
         extents: list[Extent] = []
         got = 0
-        start = self._hint % self.num_blocks
+        num = self.num_blocks
+        start = self._hint % num
+        unit = self.alloc_unit
+        bitmap = self._bitmap
         cur_start = -1
         cur_len = 0
-        for scanned in range(self.num_blocks):
+        # First-fit scan from the hint, wrapping once: identical visit
+        # order to a modulo walk over every block, but written as two
+        # linear passes with inlined bit tests and a fast skip over
+        # fully-used bytes (0xFF = 8 allocated blocks at once).  On a
+        # mostly-full device the scan spends its time in that skip.
+        for lo, hi in ((start, num), (0, start)):
+            block = lo
+            while block < hi and got < want:
+                bit = block & 7
+                byte = bitmap[block >> 3]
+                if byte == 0xFF:
+                    block += 8 - bit
+                    continue
+                if not byte & (1 << bit):
+                    bitmap[block >> 3] = byte | (1 << bit)
+                    got += 1
+                    if block == cur_start + cur_len:
+                        cur_len += 1
+                    else:
+                        if cur_start >= 0:
+                            extents.append(
+                                Extent(cur_start * unit, cur_len * unit)
+                            )
+                        cur_start, cur_len = block, 1
+                block += 1
             if got == want:
                 break
-            block = (start + scanned) % self.num_blocks
-            if self._test(block):
-                continue
-            self._set(block)
-            got += 1
-            if cur_start >= 0 and block == cur_start + cur_len:
-                cur_len += 1
-            else:
-                if cur_start >= 0:
-                    extents.append(
-                        Extent(cur_start * self.alloc_unit,
-                               cur_len * self.alloc_unit)
-                    )
-                cur_start, cur_len = block, 1
         if cur_start >= 0:
-            extents.append(
-                Extent(cur_start * self.alloc_unit, cur_len * self.alloc_unit)
-            )
+            extents.append(Extent(cur_start * unit, cur_len * unit))
 
         assert got == want, "free-block accounting violated"
         self._free_blocks -= want
@@ -121,10 +132,12 @@ class BitmapAllocator:
             count = e.length // self.alloc_unit
             if first + count > self.num_blocks:
                 raise AllocError(f"extent out of range: {e}")
+            bitmap = self._bitmap
             for b in range(first, first + count):
-                if not self._test(b):
+                mask = 1 << (b & 7)
+                if not bitmap[b >> 3] & mask:
                     raise AllocError(f"double free at block {b}")
-                self._clear(b)
+                bitmap[b >> 3] &= ~mask & 0xFF
             self._free_blocks += count
 
     def fragmentation(self) -> float:

@@ -21,6 +21,7 @@ Priority classes follow Ceph's conventions:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -41,7 +42,7 @@ SCRUB_OP = 5
 STRICT_THRESHOLD = 64
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class QueueItem:
     """One queued work item (ordering key: priority desc, then FIFO)."""
 
@@ -68,9 +69,10 @@ class WeightedPriorityQueue:
         self.env = env
         self._seq = 0
         self._strict: list[QueueItem] = []  # heap
-        self._weighted: dict[int, list[QueueItem]] = {}  # prio -> FIFO
-        self._waiters: list[Event] = []
+        self._weighted: dict[int, deque[QueueItem]] = {}  # prio -> FIFO
+        self._waiters: deque[Event] = deque()
         self._rng = SeededRng(seed).stream("wpq")
+        self._depth = 0
 
         # statistics
         self.enqueued = 0
@@ -78,9 +80,7 @@ class WeightedPriorityQueue:
         self.max_depth = 0
 
     def __len__(self) -> int:
-        return len(self._strict) + sum(
-            len(q) for q in self._weighted.values()
-        )
+        return self._depth
 
     def enqueue(self, payload: Any, priority: int = CLIENT_OP) -> None:
         """Add a work item (non-blocking; queue is unbounded)."""
@@ -91,17 +91,22 @@ class WeightedPriorityQueue:
         if priority >= STRICT_THRESHOLD:
             heapq.heappush(self._strict, item)
         else:
-            self._weighted.setdefault(priority, []).append(item)
+            q = self._weighted.get(priority)
+            if q is None:
+                q = self._weighted[priority] = deque()
+            q.append(item)
         self.enqueued += 1
-        self.max_depth = max(self.max_depth, len(self))
+        self._depth += 1
+        if self._depth > self.max_depth:
+            self.max_depth = self._depth
         if self._waiters:
-            waiter = self._waiters.pop(0)
+            waiter = self._waiters.popleft()
             waiter.succeed(self._pop())
 
     def dequeue(self) -> Event:
         """Event yielding the next work item's payload."""
         ev = self.env.event()
-        if len(self):
+        if self._depth:
             ev.succeed(self._pop())
         else:
             self._waiters.append(ev)
@@ -110,6 +115,7 @@ class WeightedPriorityQueue:
     # ---------------------------------------------------------------- internals
     def _pop(self) -> Any:
         self.dequeued += 1
+        self._depth -= 1
         if self._strict:
             return heapq.heappop(self._strict).payload
         # weighted-fair pick among backlogged priorities
@@ -122,12 +128,12 @@ class WeightedPriorityQueue:
             pick = self._rng.uniform(0, total)
             acc = 0.0
             prio, q = classes[-1]
-            for p, queue in sorted(classes):
+            for p, queue in sorted(classes, key=lambda c: c[0]):
                 acc += p
                 if pick <= acc:
                     prio, q = p, queue
                     break
-        item = q.pop(0)
+        item = q.popleft()
         if not q:
             del self._weighted[prio]
         return item.payload

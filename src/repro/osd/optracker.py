@@ -18,7 +18,7 @@ from typing import Optional
 __all__ = ["OpTracker", "TrackedOp"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TrackedOp:
     """One operation's stage history."""
 

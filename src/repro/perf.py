@@ -1,0 +1,422 @@
+"""Performance harness: deterministic workload replay + engine metrics.
+
+The simulator's wall-clock throughput is the binding constraint on every
+scale-up experiment, so this module gives the repository a first-class
+way to measure it — and to prove that making the engine faster did not
+change what it simulates.
+
+* :data:`SCENARIOS` — small, named, fully-deterministic workload
+  configurations (the same cluster builders and RADOS bench driver the
+  experiments use).  Replaying a scenario at a fixed seed always yields
+  the same event sequence, so its :func:`~repro.trace.simulation_digest`
+  is a golden value: any engine "optimization" that perturbs behavior
+  changes the digest and fails loudly.
+* :func:`measure` — run a scenario and report events/sec, wall-clock
+  seconds per simulated second, peak event-heap depth, and (optionally)
+  a cProfile-derived per-subsystem breakdown.
+* :func:`measure_hook_overhead` — quantify the per-event cost of the
+  fault/trace hook *guards* by comparing a detached run against a run
+  with an attached-but-never-firing fault plan (``dma,p=0``).  The two
+  runs must produce identical digests; their wall-clock delta is the
+  hook overhead.
+
+Results serialize via :func:`perf_result_dict` into
+``BENCH_perf_<scenario>.json`` artifacts (see the ``perf`` CLI
+subcommand) so the engine-speed trajectory is tracked PR-over-PR.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .bench.radosbench import BenchResult, run_rados_bench
+from .cluster.builder import build_baseline_cluster, build_doceph_cluster
+from .cluster.config import DocephProfile
+from .faults import FaultPlan
+from .sim import Environment
+from .trace import simulation_digest
+
+__all__ = [
+    "PerfScenario",
+    "PerfResult",
+    "HookOverhead",
+    "SCENARIOS",
+    "run_scenario",
+    "measure",
+    "measure_hook_overhead",
+    "perf_result_dict",
+    "format_perf_report",
+]
+
+MB = 1 << 20
+
+#: A run with no attached fault plan; distinct from ``None`` arguments
+#: inside :func:`run_scenario` so callers can force-detach.
+_DETACHED = object()
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One named, deterministic benchmark configuration.
+
+    ``faults`` is a fault-plan spec string (seeded with the scenario
+    seed at run time) or ``None``; ``fast_recovery`` selects the
+    fallback experiments' prompt-detection profile tuning.
+    """
+
+    name: str
+    mode: str  # "baseline" | "doceph"
+    object_size: int
+    clients: int
+    duration: float
+    warmup: float = 1.0
+    faults: Optional[str] = None
+    fast_recovery: bool = False
+    description: str = ""
+
+
+#: The standard replay scenarios.  ``smoke`` is sized for CI;
+#: ``fallback`` replays the §4 robustness workload (the acceptance
+#: scenario for engine optimizations); ``baseline``/``doceph`` replay
+#: the two §5 testbeds at a representative size.
+SCENARIOS: dict[str, PerfScenario] = {
+    s.name: s
+    for s in (
+        PerfScenario(
+            name="smoke", mode="doceph", object_size=1 * MB, clients=2,
+            duration=2.0, warmup=1.0,
+            description="small DoCeph write run (CI-sized)",
+        ),
+        PerfScenario(
+            name="fallback", mode="doceph", object_size=4 * MB, clients=8,
+            duration=4.0, warmup=1.0, faults="dma,p=0.3",
+            fast_recovery=True,
+            description="DoCeph under DMA faults on the kernel-socket "
+                        "fallback path (§4)",
+        ),
+        PerfScenario(
+            name="baseline", mode="baseline", object_size=4 * MB, clients=8,
+            duration=4.0, warmup=1.0,
+            description="host-messenger Baseline write run (§5)",
+        ),
+        PerfScenario(
+            name="doceph", mode="doceph", object_size=4 * MB, clients=8,
+            duration=4.0, warmup=1.0,
+            description="DPU-messenger DoCeph write run (§5)",
+        ),
+    )
+}
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    tracer: Any = None,
+    fault_plan: Any = _DETACHED,
+) -> tuple[Environment, BenchResult]:
+    """Replay scenario ``name`` once; returns ``(env, bench_result)``.
+
+    ``fault_plan`` overrides the scenario's own plan when given (pass
+    ``None`` to force a detached run of a faulty scenario).
+    """
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown perf scenario: {name!r} "
+            f"(choose from {', '.join(sorted(SCENARIOS))})"
+        ) from None
+    if fault_plan is _DETACHED:
+        fault_plan = (
+            FaultPlan.parse(scenario.faults, seed=seed)
+            if scenario.faults else None
+        )
+    profile = None
+    if scenario.fast_recovery:
+        # same tuning as experiment_fallback: prompt fault detection
+        profile = DocephProfile(
+            cooldown_seconds=0.5, rpc_timeout_seconds=0.5
+        )
+    env = Environment()
+    builder = (build_doceph_cluster if scenario.mode == "doceph"
+               else build_baseline_cluster)
+    if profile is not None:
+        cluster = builder(env, profile, fault_plan=fault_plan,
+                          tracer=tracer)
+    else:
+        cluster = builder(env, fault_plan=fault_plan, tracer=tracer)
+    result = run_rados_bench(
+        cluster, object_size=scenario.object_size,
+        clients=scenario.clients, duration=scenario.duration,
+        warmup=scenario.warmup,
+    )
+    return env, result
+
+
+@dataclass
+class PerfResult:
+    """Engine-speed metrics from one scenario replay."""
+
+    scenario: str
+    seed: int
+    wall_s: float
+    sim_s: float
+    events: int
+    peak_heap: int
+    digest: str
+    completed_ops: int
+    iops: float
+    repeats: int = 1
+    trace_fingerprint: Optional[str] = None
+    #: subsystem → ``{"calls": int, "tottime_s": float, "share": float}``
+    #: (populated only when profiling was requested).
+    subsystems: Optional[dict[str, dict[str, float]]] = None
+    #: top profiled functions, ``(where, calls, tottime_s)``.
+    hot: list[tuple[str, int, float]] = field(default_factory=list)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def wall_per_sim_s(self) -> float:
+        """Wall-clock seconds spent per simulated second."""
+        return self.wall_s / self.sim_s if self.sim_s > 0 else 0.0
+
+
+def _subsystem_of(filename: str) -> str:
+    """Map a profiled code object's file to a repro subsystem name."""
+    normalized = filename.replace("\\", "/")
+    marker = "/repro/"
+    idx = normalized.rfind(marker)
+    if idx < 0:
+        return "external" if "/" in normalized else "interpreter"
+    rest = normalized[idx + len(marker):]
+    if "/" in rest:
+        return rest.split("/", 1)[0]
+    return rest[:-3] if rest.endswith(".py") else rest
+
+
+def _profile_breakdown(
+    stats: pstats.Stats, top: int = 12
+) -> tuple[dict[str, dict[str, float]], list[tuple[str, int, float]]]:
+    """Aggregate cProfile stats per subsystem + extract hottest funcs."""
+    by_sub: dict[str, dict[str, float]] = {}
+    rows = []
+    total = 0.0
+    for (filename, lineno, func), (cc, nc, tottime, _cum, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        sub = _subsystem_of(filename)
+        agg = by_sub.setdefault(sub, {"calls": 0, "tottime_s": 0.0})
+        agg["calls"] += nc
+        agg["tottime_s"] += tottime
+        total += tottime
+        short = filename.replace("\\", "/").rsplit("/", 1)[-1]
+        rows.append((f"{short}:{lineno}({func})", nc, tottime))
+    if total > 0:
+        for agg in by_sub.values():
+            agg["share"] = agg["tottime_s"] / total
+    rows.sort(key=lambda r: r[2], reverse=True)
+    return by_sub, rows[:top]
+
+
+def measure(
+    scenario: str,
+    seed: int = 0,
+    repeats: int = 1,
+    profile: bool = False,
+    tracer: Any = None,
+) -> PerfResult:
+    """Replay ``scenario`` ``repeats`` times; report the fastest run.
+
+    Every repeat must produce the same digest (the harness's own
+    self-check of determinism).  With ``profile=True`` the *last*
+    repeat runs under cProfile (its wall time is excluded from the
+    events/sec figure, since profiling roughly doubles it).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best_wall = None
+    digest = None
+    env = result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        env, result = run_scenario(scenario, seed=seed, tracer=tracer)
+        wall = time.perf_counter() - t0
+        d = simulation_digest(env)
+        if digest is None:
+            digest = d
+        elif d != digest:
+            raise AssertionError(
+                f"non-deterministic replay of {scenario!r}: "
+                f"{d} != {digest}"
+            )
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    assert env is not None and result is not None
+    subsystems = None
+    hot: list[tuple[str, int, float]] = []
+    if profile:
+        prof = cProfile.Profile()
+        prof.enable()
+        penv, _ = run_scenario(scenario, seed=seed, tracer=tracer)
+        prof.disable()
+        if simulation_digest(penv) != digest:
+            raise AssertionError(
+                f"profiled replay of {scenario!r} diverged"
+            )
+        subsystems, hot = _profile_breakdown(pstats.Stats(prof))
+    fingerprint = None
+    if tracer is not None and result.trace is not None:
+        fingerprint = result.trace.fingerprint()
+    return PerfResult(
+        scenario=scenario,
+        seed=seed,
+        wall_s=best_wall or 0.0,
+        sim_s=env.now,
+        events=env._seq,
+        peak_heap=getattr(env, "_peak_pending", 0),
+        digest=digest or "",
+        completed_ops=result.completed_ops,
+        iops=result.iops,
+        repeats=repeats,
+        trace_fingerprint=fingerprint,
+        subsystems=subsystems,
+        hot=hot,
+    )
+
+
+@dataclass
+class HookOverhead:
+    """Detached vs attached-noop hook cost for one scenario."""
+
+    scenario: str
+    seed: int
+    detached_wall_s: float
+    noop_wall_s: float
+    digests_equal: bool
+
+    @property
+    def overhead_pct(self) -> float:
+        """Extra wall-clock of the noop-attached run, in percent.
+
+        Negative values are measurement noise (the runs are identical
+        event-for-event)."""
+        if self.detached_wall_s <= 0:
+            return 0.0
+        return 100.0 * (self.noop_wall_s / self.detached_wall_s - 1.0)
+
+
+def measure_hook_overhead(
+    scenario: str, seed: int = 0, repeats: int = 3
+) -> HookOverhead:
+    """Compare a detached run against an attached-but-noop fault plan.
+
+    The noop plan (``dma,p=0``) wires a LayerInjector into the DMA
+    engines so every per-transfer guard executes, but a zero probability
+    short-circuits before any RNG draw — the two runs are event-for-event
+    identical, so any wall-clock delta is pure hook overhead.  Fastest
+    of ``repeats`` runs per side, interleaved to cancel drift.
+    """
+    noop = FaultPlan.parse("dma,p=0", seed=seed)
+    detached_wall = noop_wall = None
+    detached_digest = noop_digest = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        env_d, _ = run_scenario(scenario, seed=seed, fault_plan=None)
+        w = time.perf_counter() - t0
+        detached_wall = w if detached_wall is None else min(detached_wall, w)
+        detached_digest = simulation_digest(env_d)
+
+        t0 = time.perf_counter()
+        env_n, _ = run_scenario(scenario, seed=seed, fault_plan=noop)
+        w = time.perf_counter() - t0
+        noop_wall = w if noop_wall is None else min(noop_wall, w)
+        noop_digest = simulation_digest(env_n)
+    return HookOverhead(
+        scenario=scenario,
+        seed=seed,
+        detached_wall_s=detached_wall or 0.0,
+        noop_wall_s=noop_wall or 0.0,
+        digests_equal=detached_digest == noop_digest,
+    )
+
+
+def perf_result_dict(result: PerfResult) -> dict[str, Any]:
+    """Machine-readable perf summary (``BENCH_perf_<scenario>.json``).
+
+    The ``digest``/``events``/``sim_s`` fields are deterministic golden
+    values; the wall-clock figures vary with the host machine and are
+    rounded to microseconds."""
+    out: dict[str, Any] = {
+        "scenario": result.scenario,
+        "seed": result.seed,
+        "digest": result.digest,
+        "events": result.events,
+        "sim_s": round(result.sim_s, 9),
+        "peak_heap": result.peak_heap,
+        "completed_ops": result.completed_ops,
+        "iops": round(result.iops, 9),
+        "wall_s": round(result.wall_s, 6),
+        "events_per_sec": round(result.events_per_sec, 1),
+        "wall_per_sim_s": round(result.wall_per_sim_s, 6),
+        "repeats": result.repeats,
+    }
+    if result.trace_fingerprint is not None:
+        out["trace_fingerprint"] = result.trace_fingerprint
+    if result.subsystems is not None:
+        out["subsystems"] = {
+            sub: {
+                "calls": int(agg["calls"]),
+                "tottime_s": round(agg["tottime_s"], 6),
+                "share": round(agg.get("share", 0.0), 6),
+            }
+            for sub, agg in sorted(result.subsystems.items())
+        }
+    if result.hot:
+        out["hot"] = [
+            {"where": where, "calls": calls, "tottime_s": round(t, 6)}
+            for where, calls, t in result.hot
+        ]
+    return out
+
+
+def format_perf_report(result: PerfResult) -> str:
+    """Human-readable perf report for the CLI."""
+    lines = [
+        f"scenario={result.scenario} seed={result.seed}"
+        f" (best of {result.repeats})",
+        f"  wall time:     {result.wall_s:.3f} s"
+        f" for {result.sim_s:.3f} simulated s"
+        f" ({result.wall_per_sim_s:.3f} wall-s per sim-s)",
+        f"  events:        {result.events}"
+        f" ({result.events_per_sec:,.0f} events/s)",
+        f"  peak heap:     {result.peak_heap} pending events",
+        f"  completed ops: {result.completed_ops}"
+        f" ({result.iops:.1f} IOPS simulated)",
+        f"  digest:        {result.digest}",
+    ]
+    if result.trace_fingerprint is not None:
+        lines.append(f"  trace fp:      {result.trace_fingerprint}")
+    if result.subsystems:
+        lines.append("  per-subsystem profile (tottime):")
+        ranked = sorted(
+            result.subsystems.items(),
+            key=lambda kv: kv[1]["tottime_s"], reverse=True,
+        )
+        for sub, agg in ranked:
+            lines.append(
+                f"    {sub:14s} {agg['tottime_s']:8.3f} s"
+                f"  {100 * agg.get('share', 0.0):5.1f} %"
+                f"  {int(agg['calls']):>9d} calls"
+            )
+    if result.hot:
+        lines.append("  hottest functions:")
+        for where, calls, tottime in result.hot:
+            lines.append(f"    {tottime:8.3f} s  {calls:>9d}  {where}")
+    return "\n".join(lines)

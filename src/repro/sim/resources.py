@@ -23,9 +23,10 @@ them.  Requests support the context-manager protocol::
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Optional
 
-from .core import Environment, Event
+from .core import Environment, Event, _PENDING
 from .exceptions import SimulationError
 
 __all__ = [
@@ -46,7 +47,13 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.env)
+        # Inlined Event.__init__ — requests are minted per hold on
+        # resources that don't recycle (and for every pool miss).
+        self.env = resource.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         resource._do_request(self)
 
@@ -63,8 +70,21 @@ class Request(Event):
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
-        if self.triggered:
-            self.resource._do_release(self)
+        if self._value is not _PENDING:  # triggered (inlined: hot path)
+            resource = self.resource
+            resource._do_release(self)
+            # Recycle the request on opted-in resources: after a
+            # with-block release nothing observes the event again, and
+            # ``callbacks is None`` proves the event loop is done with
+            # it.  Priority requests keep their own identity.
+            pool = resource._request_pool
+            if (
+                pool is not None
+                and self.callbacks is None
+                and self.__class__ is Request
+                and len(pool) < 32
+            ):
+                pool.append(self)
         else:
             self.cancel()
 
@@ -95,15 +115,33 @@ class Release(Event):
 
 
 class Resource:
-    """``capacity`` identical servers with a FIFO wait queue."""
+    """``capacity`` identical servers with a FIFO wait queue.
 
-    def __init__(self, env: Environment, capacity: int = 1) -> None:
+    ``recycle_requests=True`` opts the resource into a request free
+    list: a :class:`Request` released by its with-block is reset and
+    reused by a later :meth:`request` call.  Only safe for resources
+    whose callers never inspect a request after releasing it (the
+    with-statement discipline) — the hardware models' core pools, DMA
+    channels, and NIC pipes qualify.
+    """
+
+    __slots__ = ("env", "capacity", "users", "queue", "_request_pool")
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int = 1,
+        recycle_requests: bool = False,
+    ) -> None:
         if capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
         self.users: list[Request] = []
         self.queue: deque[Request] = deque()
+        self._request_pool: Optional[list[Request]] = (
+            [] if recycle_requests else None
+        )
 
     @property
     def count(self) -> int:
@@ -112,11 +150,63 @@ class Resource:
 
     def request(self) -> Request:
         """Claim one unit of the resource (an event to ``yield``)."""
+        pool = self._request_pool
+        if pool:
+            # Recycled requests skip the Event/Request constructor chain
+            # entirely; _do_request and succeed() are inlined (a pooled
+            # request's _ok is already True from its granted life).
+            req = pool.pop()
+            req.callbacks = []
+            req._defused = False
+            users = self.users
+            if len(users) < self.capacity and not self.queue:
+                users.append(req)
+                req._value = None
+                env = self.env
+                env._seq = seq = env._seq + 1
+                heappush(env._queue, (env._now, 1, seq, req))
+            else:
+                req._value = _PENDING
+                self.queue.append(req)
+            return req
         return Request(self)
 
     def release(self, request: Request) -> Release:
         """Release a granted request outside the with-statement form."""
         return Release(self, request)
+
+    def finish(self, request: Request) -> None:
+        """Hot-path equivalent of ``Request.__exit__``: release a
+        granted request (or cancel an ungranted one) and recycle it when
+        the resource opted in.  For model inner loops that would pay the
+        with-statement's ``__enter__``/``__exit__`` dispatch per call;
+        semantics are identical."""
+        if request._value is not _PENDING:
+            # Inlined _do_release + _grant_next.
+            users = self.users
+            try:
+                users.remove(request)
+            except ValueError:
+                raise SimulationError(
+                    "release of a request that holds nothing"
+                ) from None
+            queue = self.queue
+            if queue:
+                capacity = self.capacity
+                while queue and len(users) < capacity:
+                    nxt = queue.popleft()
+                    users.append(nxt)
+                    nxt.succeed()
+            pool = self._request_pool
+            if (
+                pool is not None
+                and request.callbacks is None
+                and request.__class__ is Request
+                and len(pool) < 32
+            ):
+                pool.append(request)
+        else:
+            self._withdraw(request)
 
     # -- internals -----------------------------------------------------------
     def _do_request(self, request: Request) -> None:
@@ -157,6 +247,8 @@ class Resource:
 class PriorityResource(Resource):
     """A :class:`Resource` whose queue is ordered by request priority."""
 
+    __slots__ = ("_seq",)
+
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         super().__init__(env, capacity)
         self._seq = 0
@@ -189,9 +281,14 @@ class _ContainerGet(Event):
     __slots__ = ("amount",)
 
     def __init__(self, container: "Container", amount: float) -> None:
-        super().__init__(container.env)
         if amount <= 0:
             raise SimulationError(f"get amount must be positive: {amount}")
+        # Inlined Event.__init__ (hot: every throttle acquire).
+        self.env = container.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.amount = amount
         container._get_waiters.append(self)
         container._trigger()
@@ -201,9 +298,14 @@ class _ContainerPut(Event):
     __slots__ = ("amount",)
 
     def __init__(self, container: "Container", amount: float) -> None:
-        super().__init__(container.env)
         if amount <= 0:
             raise SimulationError(f"put amount must be positive: {amount}")
+        # Inlined Event.__init__ (hot: every throttle release).
+        self.env = container.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.amount = amount
         container._put_waiters.append(self)
         container._trigger()
@@ -211,6 +313,8 @@ class _ContainerPut(Event):
 
 class Container:
     """A homogeneous quantity with bounded level (e.g. pool of bytes)."""
+
+    __slots__ = ("env", "capacity", "_level", "_get_waiters", "_put_waiters")
 
     def __init__(
         self,
@@ -269,7 +373,12 @@ class _StoreGet(Event):
         store: "Store",
         filter: Optional[Callable[[Any], bool]] = None,
     ) -> None:
-        super().__init__(store.env)
+        # Inlined Event.__init__ (hot: every dispatch-queue pop).
+        self.env = store.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.filter = filter
         store._getters.append(self)
         store._trigger()
@@ -279,7 +388,12 @@ class _StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        # Inlined Event.__init__ (hot: every dispatch-queue push).
+        self.env = store.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
         store._putters.append(self)
         store._trigger()
@@ -287,6 +401,8 @@ class _StorePut(Event):
 
 class Store:
     """FIFO queue of arbitrary items with optional bounded capacity."""
+
+    __slots__ = ("env", "capacity", "items", "_getters", "_putters")
 
     def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         if capacity <= 0:
@@ -309,29 +425,33 @@ class Store:
         return len(self.items)
 
     def _trigger(self) -> None:
-        progressed = True
-        while progressed:
+        # succeed() only schedules (no user code runs synchronously), so
+        # matching all putters first and then all satisfiable getters
+        # produces the same trigger order as alternating single steps.
+        # The outer loop re-admits queued putters after getters free
+        # capacity on a bounded store; unbounded stores take one pass.
+        items = self.items
+        while True:
+            putters = self._putters
+            if putters:
+                capacity = self.capacity
+                while putters and len(items) < capacity:
+                    put = putters.popleft()
+                    items.append(put.item)
+                    put.succeed()
+            getters = self._getters
             progressed = False
-            while self._putters and len(self.items) < self.capacity:
-                put = self._putters.popleft()
-                self.items.append(put.item)
-                put.succeed()
+            while getters and items:
+                getters.popleft().succeed(items.popleft())
                 progressed = True
-            if self._getters and self.items:
-                if self._match_get():
-                    progressed = True
-
-    def _match_get(self) -> bool:
-        get = self._getters[0]
-        if self.items:
-            self._getters.popleft()
-            get.succeed(self.items.popleft())
-            return True
-        return False
+            if not (progressed and self._putters):
+                return
 
 
 class FilterStore(Store):
     """A :class:`Store` whose getters may select items by predicate."""
+
+    __slots__ = ()
 
     def get(  # type: ignore[override]
         self, filter: Optional[Callable[[Any], bool]] = None

@@ -26,7 +26,15 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Iterator, Union
 
-__all__ = ["DataBlob", "BufferList", "BufferDecoder", "EncodeError"]
+from ..sim.core import register_fresh_env_hook
+
+__all__ = [
+    "DataBlob",
+    "BufferList",
+    "BufferDecoder",
+    "EncodeError",
+    "reset_blob_ids",
+]
 
 
 class EncodeError(Exception):
@@ -40,6 +48,26 @@ def _next_blob_id() -> int:
     global _blob_counter
     _blob_counter += 1
     return _blob_counter
+
+
+def reset_blob_ids() -> None:
+    """Restart blob-id allocation from 1.
+
+    Blob ids are only compared *within* one simulation; letting the
+    counter leak across :class:`~repro.sim.core.Environment` instances
+    made artifacts (and anything hashing blob ids) depend on how many
+    simulations the process had already run.  Registered as a
+    fresh-environment hook so every new ``Environment`` starts from a
+    clean namespace.
+    """
+    global _blob_counter
+    _blob_counter = 0
+
+
+register_fresh_env_hook(reset_blob_ids)
+
+#: encode_str memo: str -> length-prefixed utf-8 bytes (pure, capped).
+_STR_CACHE: dict[str, bytes] = {}
 
 
 @dataclass(frozen=True)
@@ -146,34 +174,45 @@ class BufferList:
                 self._raw(extent)
 
     # -- primitive encoders -------------------------------------------------
+    # int.to_bytes beats struct.pack for fixed little-endian widths and
+    # produces identical bytes (out-of-range values still raise, as
+    # OverflowError rather than struct.error).
     def encode_u8(self, v: int) -> None:
-        self._raw(struct.pack("<B", v))
+        self._raw(v.to_bytes(1, "little"))
 
     def encode_u16(self, v: int) -> None:
-        self._raw(struct.pack("<H", v))
+        self._raw(v.to_bytes(2, "little"))
 
     def encode_u32(self, v: int) -> None:
-        self._raw(struct.pack("<I", v))
+        self._raw(v.to_bytes(4, "little"))
 
     def encode_u64(self, v: int) -> None:
-        self._raw(struct.pack("<Q", v))
+        self._raw(v.to_bytes(8, "little"))
 
     def encode_s64(self, v: int) -> None:
-        self._raw(struct.pack("<q", v))
+        self._raw(v.to_bytes(8, "little", signed=True))
 
     def encode_f64(self, v: float) -> None:
         self._raw(struct.pack("<d", v))
 
     def encode_bool(self, v: bool) -> None:
-        self.encode_u8(1 if v else 0)
+        self._raw(b"\x01" if v else b"\x00")
 
     def encode_bytes(self, data: bytes) -> None:
         """u32 length prefix + raw bytes."""
-        self.encode_u32(len(data))
-        self._raw(data)
+        self._raw(len(data).to_bytes(4, "little") + data)
 
     def encode_str(self, s: str) -> None:
-        self.encode_bytes(s.encode("utf-8"))
+        # Message/op encoding re-emits a small vocabulary of strings
+        # (object names, pool names, op types) millions of times; the
+        # length-prefixed encoding is pure, so cache it.
+        enc = _STR_CACHE.get(s)
+        if enc is None:
+            raw = s.encode("utf-8")
+            enc = len(raw).to_bytes(4, "little") + raw
+            if len(_STR_CACHE) < 4096:
+                _STR_CACHE[s] = enc
+        self._raw(enc)
 
     # -- integrity -------------------------------------------------------------
     def crc32(self) -> int:
@@ -227,6 +266,20 @@ class BufferDecoder:
         raise EncodeError("decode past end of bufferlist")
 
     def _take(self, n: int) -> bytes:
+        if n <= 0:
+            return b""
+        # Fast path: the whole read comes out of the current extent
+        # (encoders coalesce adjacent primitives into one bytes object,
+        # so this covers nearly every decode).
+        cur = self._current_bytes()
+        pos = self._pos
+        end = pos + n
+        if end <= len(cur):
+            self._pos = end
+            if end == len(cur):
+                self._idx += 1
+                self._pos = 0
+            return cur[pos:end]
         out = bytearray()
         while n > 0:
             cur = self._current_bytes()
@@ -242,19 +295,19 @@ class BufferDecoder:
 
     # -- primitive decoders ----------------------------------------------------
     def decode_u8(self) -> int:
-        return struct.unpack("<B", self._take(1))[0]
+        return self._take(1)[0]
 
     def decode_u16(self) -> int:
-        return struct.unpack("<H", self._take(2))[0]
+        return int.from_bytes(self._take(2), "little")
 
     def decode_u32(self) -> int:
-        return struct.unpack("<I", self._take(4))[0]
+        return int.from_bytes(self._take(4), "little")
 
     def decode_u64(self) -> int:
-        return struct.unpack("<Q", self._take(8))[0]
+        return int.from_bytes(self._take(8), "little")
 
     def decode_s64(self) -> int:
-        return struct.unpack("<q", self._take(8))[0]
+        return int.from_bytes(self._take(8), "little", signed=True)
 
     def decode_f64(self) -> float:
         return struct.unpack("<d", self._take(8))[0]

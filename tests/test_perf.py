@@ -1,0 +1,213 @@
+"""Tests for repro.perf: golden-digest behavior invariance, the
+benchmark harness itself, hook-overhead measurement, and the blob-id
+fresh-environment reset.
+
+The golden digests below were captured on the unoptimized engine
+(before the hot-path rework); every kernel or model optimization must
+reproduce them byte-for-byte.  If a digest test fails, the engine's
+*behavior* changed — event count, ordering, or timestamps — and the
+change must be reverted or re-derived, never "re-goldened" as part of
+a performance PR.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    SCENARIOS,
+    measure,
+    measure_hook_overhead,
+    perf_result_dict,
+    run_scenario,
+)
+from repro.sim import Environment
+from repro.trace import Tracer, simulation_digest
+from repro.util.bufferlist import DataBlob
+
+# (scenario, seed) -> captured on the pre-optimization engine.
+GOLDEN = {
+    ("smoke", 0): {
+        "digest": "e2ef72a6badf5c73ebdfb994c2ce1e56502d36587e1393cdb6e0f6812dba5fec",
+        "events": 119403, "sim_s": 3.017881747, "completed_ops": 238,
+    },
+    ("smoke", 1): {
+        "digest": "e2ef72a6badf5c73ebdfb994c2ce1e56502d36587e1393cdb6e0f6812dba5fec",
+        "events": 119403, "sim_s": 3.017881747, "completed_ops": 238,
+    },
+    ("smoke", 2): {
+        "digest": "e2ef72a6badf5c73ebdfb994c2ce1e56502d36587e1393cdb6e0f6812dba5fec",
+        "events": 119403, "sim_s": 3.017881747, "completed_ops": 238,
+    },
+    ("fallback", 0): {
+        "digest": "c560aca9574bb8a335c21856890e7dc6aae3288ca248d0d216a055dfa25b2592",
+        "events": 281328, "sim_s": 5.055724046, "completed_ops": 348,
+    },
+    ("fallback", 1): {
+        "digest": "db72cd5c6f339fba27de5863715f252928137db4332801de2cf1db8a0610fcd3",
+        "events": 282814, "sim_s": 5.070320017, "completed_ops": 350,
+    },
+    ("fallback", 2): {
+        "digest": "cc3710b8be4288877a3d3081ab11e7ccebb54843d4dabf6b4b7de78576fd7d21",
+        "events": 284211, "sim_s": 5.060342479, "completed_ops": 354,
+    },
+    ("baseline", 0): {
+        "digest": "ddf6e2715324c0b3859a751909ab8e53aba9b5b8941d57fae43e703d654c29c3",
+        "events": 244984, "sim_s": 5.058659605, "completed_ops": 471,
+    },
+    ("doceph", 0): {
+        "digest": "baa744a014860e3ff1abc1adb598f1051f7876cd9b7973642115e10149d6d0e3",
+        "events": 271215, "sim_s": 5.071834561, "completed_ops": 417,
+    },
+}
+
+# smoke scenario with Tracer(seed=seed) attached; fingerprints cover
+# the full span tree, so the tracer's zero-perturbation guarantee and
+# the span structure are both pinned.
+GOLDEN_TRACED = {
+    0: "a70e5fd5c693a89f56af9e5cdbf69fe1f831f7d655e4fb13c28fa84e5c9efa7e",
+    1: "d2d84c87d641ab926504dadd44cd5fb7880533fac4b1d39808597aa9d405532c",
+    2: "ad4e3e350106dd09fda5e8a87b7b460330d61b13fb0dcd6d2ffd7b83d667ef24",
+}
+
+
+# ------------------------------------------------------------- golden digests
+
+@pytest.mark.parametrize("scenario,seed", sorted(GOLDEN))
+def test_golden_digest(scenario, seed):
+    env, result = run_scenario(scenario, seed=seed)
+    want = GOLDEN[(scenario, seed)]
+    assert simulation_digest(env) == want["digest"]
+    assert env._seq == want["events"]
+    assert round(env.now, 9) == want["sim_s"]
+    assert result.completed_ops == want["completed_ops"]
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN_TRACED))
+def test_golden_traced_fingerprint(seed):
+    tracer = Tracer(seed=seed)
+    env, _ = run_scenario("smoke", seed=seed, tracer=tracer)
+    # attaching the tracer must not perturb the simulation...
+    assert simulation_digest(env) == GOLDEN[("smoke", seed)]["digest"]
+    # ...and the span tree itself is deterministic per tracer seed
+    assert tracer.report().fingerprint() == GOLDEN_TRACED[seed]
+
+
+def test_detached_fault_plan_is_inert():
+    """A never-firing plan (p=0) must be event-for-event identical to a
+    fully detached run — the guard hoisting the optimization relies on."""
+    overhead = measure_hook_overhead("smoke", seed=0, repeats=1)
+    assert overhead.digests_equal
+    assert overhead.detached_wall_s > 0
+    assert overhead.noop_wall_s > 0
+
+
+# ------------------------------------------------------------------- harness
+
+def test_measure_matches_golden_and_self_checks():
+    res = measure("smoke", seed=0, repeats=2)
+    assert res.digest == GOLDEN[("smoke", 0)]["digest"]
+    assert res.events == GOLDEN[("smoke", 0)]["events"]
+    assert res.repeats == 2
+    assert res.wall_s > 0
+    assert res.events_per_sec > 0
+    assert res.wall_per_sim_s > 0
+    assert res.peak_heap > 0
+    assert res.subsystems is None  # no profile requested
+
+
+def test_measure_profile_breakdown():
+    res = measure("smoke", seed=0, repeats=1, profile=True)
+    assert res.digest == GOLDEN[("smoke", 0)]["digest"]
+    assert res.subsystems, "profiling must yield a subsystem breakdown"
+    # the kernel and the model layers must both appear
+    assert "sim" in res.subsystems
+    shares = [agg.get("share", 0.0) for agg in res.subsystems.values()]
+    assert 0.99 < sum(shares) < 1.01
+    assert res.hot, "profiling must yield hottest-function rows"
+
+
+def test_measure_rejects_bad_args():
+    with pytest.raises(ValueError):
+        measure("smoke", repeats=0)
+    with pytest.raises(ValueError):
+        run_scenario("no-such-scenario")
+
+
+def test_perf_result_dict_round_trips():
+    res = measure("smoke", seed=0, repeats=1)
+    doc = perf_result_dict(res)
+    json.dumps(doc)  # serializable
+    assert doc["scenario"] == "smoke"
+    assert doc["digest"] == res.digest
+    assert doc["events"] == res.events
+    assert doc["peak_heap"] == res.peak_heap
+    assert "trace_fingerprint" not in doc  # no tracer attached
+    assert "subsystems" not in doc  # no profile requested
+
+
+def test_scenarios_are_well_formed():
+    assert {"smoke", "fallback", "baseline", "doceph"} <= set(SCENARIOS)
+    for name, sc in SCENARIOS.items():
+        assert sc.name == name
+        assert sc.mode in ("baseline", "doceph")
+        assert sc.object_size > 0 and sc.clients > 0 and sc.duration > 0
+
+
+# ------------------------------------------------------------------ perf CLI
+
+def test_cli_perf_runs_and_writes_json(capsys, tmp_path):
+    from repro.cli import main
+
+    code = main(["perf", "--scenario", "smoke", "--repeats", "1",
+                 "--json-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "events/s" in out
+    assert GOLDEN[("smoke", 0)]["digest"] in out
+    doc = json.loads((tmp_path / "BENCH_perf_smoke.json").read_text())
+    assert doc["digest"] == GOLDEN[("smoke", 0)]["digest"]
+    assert doc["events"] == GOLDEN[("smoke", 0)]["events"]
+
+
+def test_cli_perf_baseline_digest_mismatch_exits_3(capsys, tmp_path):
+    from repro.cli import main
+
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps({"digest": "not-the-digest",
+                                "wall_s": 100.0}))
+    code = main(["perf", "--scenario", "smoke", "--repeats", "1",
+                 "--baseline", str(base), "--no-json"])
+    assert code == 3
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_cli_perf_baseline_regression_exits_4(capsys, tmp_path):
+    from repro.cli import main
+
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps({
+        "digest": GOLDEN[("smoke", 0)]["digest"],
+        "wall_s": 1e-6,  # impossibly fast baseline forces a regression
+    }))
+    code = main(["perf", "--scenario", "smoke", "--repeats", "1",
+                 "--baseline", str(base), "--no-json"])
+    assert code == 4
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+# -------------------------------------------------- blob-id fresh-env reset
+
+def test_blob_ids_reset_per_environment():
+    """The bufferlist blob-id mint must restart for every simulation:
+    a leaked module-global counter made blob ids depend on how many
+    simulations the process had already run."""
+    Environment()
+    first_run_id = DataBlob(16).blob_id
+
+    # burn some ids, then start a fresh simulation
+    for _ in range(5):
+        DataBlob(8)
+    Environment()
+
+    assert DataBlob(16).blob_id == first_run_id
