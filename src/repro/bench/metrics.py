@@ -96,7 +96,7 @@ class CpuWindow:
         ctx = {
             cat: end.ctx_by_category.get(cat, 0)
             - start.ctx_by_category.get(cat, 0)
-            for cat in set(end.ctx_by_category) | set(start.ctx_by_category)
+            for cat in sorted(set(end.ctx_by_category) | set(start.ctx_by_category))
         }
         return CpuWindow(cpu.name, elapsed, busy, ctx)
 

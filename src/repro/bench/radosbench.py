@@ -10,13 +10,13 @@ bench's built-in instrumentation.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from ..cluster.builder import BENCH_POOL, Cluster
 from ..core.proxy_objectstore import ProxyObjectStore, WriteBreakdown
 from ..util.stats import RunningStats, TimeSeries, percentile
+from ..util.wallclock import perf_counter
 from .metrics import (
     CpuSampler,
     CpuWindow,
@@ -107,7 +107,7 @@ def run_rados_bench(
     env = cluster.env
     client = cluster.client
     assert client is not None
-    t_wall = time.perf_counter()
+    t_wall = perf_counter()
     seq_start = env.events_scheduled
 
     if client.osdmap is None:
@@ -191,7 +191,7 @@ def run_rados_bench(
         faults=collect_fault_report(cluster),
         health=collect_health_report(cluster),
         trace=trace,
-        wall_clock_s=time.perf_counter() - t_wall,
+        wall_clock_s=perf_counter() - t_wall,
         engine_events=env.events_scheduled - seq_start,
     )
 
@@ -209,7 +209,7 @@ def run_read_bench(
     env = cluster.env
     client = cluster.client
     assert client is not None
-    t_wall = time.perf_counter()
+    t_wall = perf_counter()
     seq_start = env.events_scheduled
     if client.osdmap is None:
         boot = env.process(cluster.boot(), name="cluster-boot")
@@ -286,6 +286,6 @@ def run_read_bench(
         faults=collect_fault_report(cluster),
         health=collect_health_report(cluster),
         trace=trace,
-        wall_clock_s=time.perf_counter() - t_wall,
+        wall_clock_s=perf_counter() - t_wall,
         engine_events=env.events_scheduled - seq_start,
     )

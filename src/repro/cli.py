@@ -393,6 +393,56 @@ def _cmd_perf(args: argparse.Namespace) -> tuple[str, int]:
     return "\n".join(lines), code
 
 
+def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
+    """Static analysis + optional dynamic tie-order probe.
+
+    Returns (report text, exit code): 3 when there are findings not
+    covered by the baseline, or when the dynamic probe's FIFO control
+    run fails to reproduce the native digest (a probe defect, not a
+    model property)."""
+    from . import lint as lintmod
+
+    lines: list[str] = []
+    if args.list_rules:
+        for rule_code, rule in sorted(lintmod.RULES.items()):
+            lines.append(f"{rule_code}  {rule.name} — {rule.description}")
+        return "\n".join(lines), 0
+
+    select = (
+        [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    report = lintmod.lint_paths(args.paths, select=select)
+    code = 0
+
+    if args.fix_baseline:
+        lintmod.save_baseline(args.baseline, report.findings)
+        lines.append(
+            f"lint: wrote {len(report.findings)} finding(s) to {args.baseline}"
+        )
+    else:
+        baseline = lintmod.load_baseline(args.baseline)
+        new = lintmod.filter_new(report.findings, baseline)
+        for finding in new:
+            lines.append(finding.render())
+        grandfathered = len(report.findings) - len(new)
+        lines.append(
+            f"lint: {len(new)} new finding(s), {grandfathered} baselined,"
+            f" {report.files_checked} file(s) checked"
+        )
+        if new:
+            code = 3
+
+    if args.dynamic:
+        tie = lintmod.check_tie_order(args.dynamic, seed=args.seed)
+        lines.append(tie.render())
+        if not tie.instrumentation_ok:
+            code = 3
+
+    return "\n".join(lines), code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -513,6 +563,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="allowed wall-clock ratio vs --baseline "
                            "before exiting 4")
     add_json_opts(perf)
+
+    lint = sub.add_parser(
+        "lint", help="determinism & sim-safety static analysis "
+                     "(repro.lint; exit 3 on findings not in the baseline)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files/directories to check (default: src)")
+    lint.add_argument("--baseline", default="lint-baseline.txt",
+                      metavar="FILE",
+                      help="grandfathered-findings file (missing = empty)")
+    lint.add_argument("--fix-baseline", action="store_true",
+                      help="rewrite the baseline from current findings "
+                           "instead of failing on them")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run "
+                           "(default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.add_argument("--dynamic", default=None, metavar="SCENARIO",
+                      choices=sorted(SCENARIOS),
+                      help="also run the tie-order probe against a "
+                           "repro.perf scenario and report "
+                           "order-sensitive schedule sites")
+    lint.add_argument("--seed", type=int, default=0,
+                      help="scenario seed for --dynamic")
     return parser
 
 
@@ -540,6 +614,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(text)
             if code:
                 return code  # 3 = digest mismatch, 4 = wall regression
+        elif args.command == "lint":
+            text, code = _cmd_lint(args)
+            print(text)
+            if code:
+                return code  # 3 = new findings / probe defect
         else:
             print(_EXPERIMENTS[args.command](args))
     except ValueError as exc:

@@ -38,7 +38,7 @@ class CpuSnapshot:
 
     def busy_since(self, earlier: "CpuSnapshot") -> dict[str, float]:
         """Busy-seconds per category accrued between two snapshots."""
-        keys = set(self.busy_by_category) | set(earlier.busy_by_category)
+        keys = sorted(set(self.busy_by_category) | set(earlier.busy_by_category))
         return {
             k: self.busy_by_category.get(k, 0.0)
             - earlier.busy_by_category.get(k, 0.0)

@@ -134,6 +134,8 @@ class Partition:
     may be shrunk later (:meth:`Network.heal_partitions`) to heal early.
     """
 
+    __slots__ = ("nodes", "start", "end", "on_drop", "drops", "dropped_bytes")
+
     def __init__(
         self,
         nodes: frozenset[str],
@@ -169,6 +171,15 @@ class Network:
     so only the endpoint NICs model bandwidth; that is exactly the
     paper's setup (Table 1).
     """
+
+    __slots__ = (
+        "env",
+        "latency_s",
+        "_nics",
+        "_partitions",
+        "partition_drops",
+        "partition_dropped_bytes",
+    )
 
     def __init__(self, env: Environment, latency_s: float = 20e-6) -> None:
         if latency_s < 0:

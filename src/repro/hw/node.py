@@ -32,7 +32,7 @@ from .tcp import TcpStackModel
 __all__ = ["NetStack", "ClusterNode"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NetStack:
     """Everything a network endpoint needs: CPU, NIC, address, TCP costs."""
 
@@ -69,6 +69,19 @@ class ClusterNode:
     tcp:
         TCP stack cost model for whichever complex terminates TCP.
     """
+
+    __slots__ = (
+        "env",
+        "network",
+        "name",
+        "host_cpu",
+        "ssd",
+        "dpu_cpu",
+        "dma",
+        "pcie_rpc_latency",
+        "nic",
+        "_tcp",
+    )
 
     def __init__(
         self,

@@ -24,6 +24,24 @@ class StorageError(Exception):
 class SsdDevice:
     """A flash device with distinct read/write service rates."""
 
+    __slots__ = (
+        "env",
+        "name",
+        "write_bandwidth",
+        "read_bandwidth",
+        "write_latency",
+        "read_latency",
+        "_chan",
+        "fault_injector",
+        "bytes_written",
+        "bytes_read",
+        "writes",
+        "reads",
+        "io_errors",
+        "failed_bytes",
+        "busy_time",
+    )
+
     def __init__(
         self,
         env: Environment,

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 __all__ = ["TcpStackModel"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TcpStackModel:
     """Cost constants for one kernel TCP/IP stack traversal.
 

@@ -1,0 +1,86 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+Format is one tab-separated record per line — ``path<TAB>code<TAB>scope
+<TAB>source-line`` — sorted, with ``#`` comments ignored.  The record is
+the finding's :meth:`~repro.lint.engine.Finding.fingerprint`, which
+deliberately omits line numbers so unrelated edits that shift code do
+not churn the file.  Identical findings (same fingerprint, e.g. two
+``time.time()`` calls on textually identical lines in one function)
+are budgeted by count: the baseline allows as many as it records, and
+any excess is reported as new.
+
+``python -m repro lint --fix-baseline`` rewrites the file from the
+current findings; a review of that diff is the only way a finding gets
+grandfathered.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import Counter
+from typing import Iterable, Sequence
+
+from .engine import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "save_baseline",
+    "filter_new",
+]
+
+DEFAULT_BASELINE = "lint-baseline.txt"
+
+_HEADER = """\
+# repro.lint baseline — grandfathered findings that do not fail the build.
+# One tab-separated record per line: path, code, scope, source line.
+# Regenerate with: python -m repro lint --fix-baseline
+"""
+
+
+def _fingerprint_line(fp: tuple[str, str, str, str]) -> str:
+    return "\t".join(fp)
+
+
+def load_baseline(path: str | pathlib.Path) -> Counter:
+    """Fingerprint → allowed count.  Missing file = empty baseline."""
+    baseline: Counter = Counter()
+    p = pathlib.Path(path)
+    if not p.exists():
+        return baseline
+    for raw in p.read_text(encoding="utf-8").splitlines():
+        line = raw.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise ValueError(
+                f"malformed baseline record in {p}: {line!r} "
+                "(expected 4 tab-separated fields)"
+            )
+        baseline[tuple(parts)] += 1
+    return baseline
+
+
+def save_baseline(
+    path: str | pathlib.Path, findings: Iterable[Finding]
+) -> None:
+    """Write the baseline for ``findings`` (sorted, deterministic)."""
+    records = sorted(_fingerprint_line(f.fingerprint()) for f in findings)
+    body = _HEADER + "".join(r + "\n" for r in records)
+    pathlib.Path(path).write_text(body, encoding="utf-8")
+
+
+def filter_new(
+    findings: Sequence[Finding], baseline: Counter
+) -> list[Finding]:
+    """Findings not covered by the baseline's per-fingerprint budget."""
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if budget[fp] > 0:
+            budget[fp] -= 1
+        else:
+            new.append(finding)
+    return new

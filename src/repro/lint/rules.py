@@ -1,0 +1,723 @@
+"""The rule catalogue.
+
+Three families, each guarding one of the invariants the reproduction is
+load-bearing on (see DESIGN.md §9):
+
+* ``DET1xx`` — determinism: no wall-clock, no ambient entropy, no
+  unordered-collection iteration feeding order-sensitive code, no
+  identity-keyed ordering, no env reads outside the config boundary.
+* ``SIM2xx`` — sim-safety: no real blocking calls inside simulated
+  layers; every ``Resource.request()`` must be released on all
+  exception paths (the simulated-concurrency analogue of a lock-leak
+  checker).
+* ``PERF3xx`` — perf-invariants: hot-module classes declare
+  ``__slots__``; slotted classes never assign undeclared attributes
+  (which would raise ``AttributeError`` at runtime).
+
+Rules are plain functions registered by code; each takes a
+:class:`~repro.lint.engine.LintContext` and returns findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .engine import Finding, LintContext, dataclass_slots_decorator
+
+__all__ = ["Rule", "RULES", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    code: str
+    name: str
+    description: str
+    check: Callable[[LintContext], list[Finding]]
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, description: str):
+    def register(fn: Callable[[LintContext], list[Finding]]):
+        RULES[code] = Rule(code=code, name=name, description=description, check=fn)
+        return fn
+
+    return register
+
+
+# --------------------------------------------------------------- DET1xx rules
+
+#: Host-clock reads.  Calling any of these inside the tree couples model
+#: output to the machine it ran on.
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@rule(
+    "DET101",
+    "wall-clock-read",
+    "host clock read outside the injectable wallclock accessor",
+)
+def det101_wallclock(ctx: LintContext) -> list[Finding]:
+    if ctx.relpath in ctx.config.wallclock_modules:
+        return []
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if resolved in _WALLCLOCK_CALLS:
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "DET101",
+                        f"wall-clock read {resolved}() — route through "
+                        "repro.util.wallclock.perf_counter",
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if f"time.{alias.name}" in _WALLCLOCK_CALLS:
+                    findings.append(
+                        ctx.finding(
+                            node,
+                            "DET101",
+                            f"imports wall-clock primitive time.{alias.name} — "
+                            "route through repro.util.wallclock",
+                        )
+                    )
+    return findings
+
+
+_ENTROPY_CALLS = frozenset(
+    {"uuid.uuid1", "uuid.uuid4", "os.urandom", "random.SystemRandom"}
+)
+
+
+@rule(
+    "DET102",
+    "ambient-entropy",
+    "OS/hardware entropy source (uuid4, os.urandom, secrets)",
+)
+def det102_entropy(ctx: LintContext) -> list[Finding]:
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            continue
+        if resolved in _ENTROPY_CALLS or resolved.split(".")[0] == "secrets":
+            findings.append(
+                ctx.finding(
+                    node,
+                    "DET102",
+                    f"nondeterministic entropy source {resolved}() — derive "
+                    "ids from repro.util.rng.SeededRng instead",
+                )
+            )
+    return findings
+
+
+#: Module-level random functions share one hidden global stream; any new
+#: caller reorders every other caller's draws.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.gauss",
+        "random.normalvariate",
+        "random.expovariate",
+        "random.betavariate",
+        "random.gammavariate",
+        "random.lognormvariate",
+        "random.paretovariate",
+        "random.weibullvariate",
+        "random.triangular",
+        "random.vonmisesvariate",
+        "random.getrandbits",
+        "random.randbytes",
+        "random.seed",
+    }
+)
+
+
+@rule(
+    "DET103",
+    "global-random",
+    "global/unseeded random outside the seeded-stream factory",
+)
+def det103_global_random(ctx: LintContext) -> list[Finding]:
+    if ctx.relpath in ctx.config.rng_modules:
+        return []
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved in _GLOBAL_RANDOM:
+            findings.append(
+                ctx.finding(
+                    node,
+                    "DET103",
+                    f"global random stream {resolved}() — use "
+                    "repro.util.rng.SeededRng",
+                )
+            )
+        elif resolved == "random.Random" and not node.args and not node.keywords:
+            findings.append(
+                ctx.finding(
+                    node,
+                    "DET103",
+                    "random.Random() without a seed — pass an explicit seed "
+                    "or use repro.util.rng.SeededRng",
+                )
+            )
+    return findings
+
+
+def _setish_locals(scope: ast.AST) -> set[str]:
+    """Names in ``scope`` assigned exactly once, from a set expression."""
+    assigned: dict[str, list[ast.expr]] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assigned.setdefault(target.id, []).append(node.value)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)) and isinstance(
+            node.target, ast.Name
+        ):
+            # Mark multiply-assigned so single-assignment logic drops it.
+            assigned.setdefault(node.target.id, []).extend(
+                [node.target, node.target]
+            )
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            tgt = node.target
+            for name in ast.walk(tgt):
+                if isinstance(name, ast.Name):
+                    assigned.setdefault(name.id, []).extend([name, name])
+    known: set[str] = set()
+    # Two passes so ``s = set(...); t = s | other`` resolves.
+    for _ in range(2):
+        for name, values in assigned.items():
+            if len(values) == 1 and _is_setish(values[0], known):
+                known.add(name)
+    return known
+
+
+def _is_setish(node: ast.expr, known: set[str]) -> bool:
+    """Does ``node`` evaluate to a set/frozenset (iteration order unstable)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in known
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_setish(node.left, known) or _is_setish(node.right, known)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _is_setish(node.func.value, known)
+    return False
+
+
+@rule(
+    "DET104",
+    "unordered-iteration",
+    "iteration over a set feeds order-sensitive code",
+)
+def det104_unordered_iteration(ctx: LintContext) -> list[Finding]:
+    findings = []
+    scopes = [ctx.tree] + [
+        n
+        for n in ast.walk(ctx.tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    flagged: set[int] = set()  # id() of expr nodes already reported
+
+    def flag(expr: ast.expr, where: str) -> None:
+        if id(expr) in flagged:
+            return
+        flagged.add(id(expr))
+        findings.append(
+            ctx.finding(
+                expr,
+                "DET104",
+                f"iterating a set in {where} — iteration order is not part "
+                "of the determinism contract; wrap in sorted()",
+            )
+        )
+
+    for scope in scopes:
+        known = _setish_locals(scope)
+        for node in ast.walk(scope):
+            # Don't rescan nested functions from the module pass; they get
+            # their own (more precise) local table.
+            if scope is ctx.tree and ctx.enclosing_function(node) is not None:
+                continue
+            if isinstance(node, ast.For) and _is_setish(node.iter, known):
+                flag(node.iter, "a for loop")
+            elif isinstance(node, ast.comprehension) and _is_setish(
+                node.iter, known
+            ):
+                flag(node.iter, "a comprehension")
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Name)
+                    and fn.id in ("list", "tuple", "iter", "enumerate")
+                    and node.args
+                    and _is_setish(node.args[0], known)
+                ):
+                    flag(node.args[0], f"{fn.id}()")
+                elif (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr == "join"
+                    and node.args
+                    and _is_setish(node.args[0], known)
+                ):
+                    flag(node.args[0], "str.join()")
+    return findings
+
+
+def _lambda_calls(node: ast.Lambda, names: tuple[str, ...]) -> bool:
+    return any(
+        isinstance(n, ast.Call)
+        and isinstance(n.func, ast.Name)
+        and n.func.id in names
+        for n in ast.walk(node.body)
+    )
+
+
+@rule(
+    "DET105",
+    "identity-keyed-ordering",
+    "id()/hash() used as a sort key",
+)
+def det105_identity_ordering(ctx: LintContext) -> list[Finding]:
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        is_order_call = (
+            isinstance(fn, ast.Name) and fn.id in ("sorted", "min", "max")
+        ) or (isinstance(fn, ast.Attribute) and fn.attr == "sort")
+        if not is_order_call:
+            continue
+        for kw in node.keywords:
+            if kw.arg != "key":
+                continue
+            bad = (
+                isinstance(kw.value, ast.Name) and kw.value.id in ("id", "hash")
+            ) or (
+                isinstance(kw.value, ast.Lambda)
+                and _lambda_calls(kw.value, ("id", "hash"))
+            )
+            if bad:
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "DET105",
+                        "ordering keyed on id()/hash() — interpreter-specific "
+                        "and PYTHONHASHSEED-dependent; key on a stable field",
+                    )
+                )
+    return findings
+
+
+@rule(
+    "DET106",
+    "env-read",
+    "environment-variable read outside the CLI/config boundary",
+)
+def det106_env_read(ctx: LintContext) -> list[Finding]:
+    if ctx.relpath in ctx.config.env_modules:
+        return []
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if resolved in ("os.getenv", "os.putenv", "os.unsetenv"):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "DET106",
+                        f"{resolved}() outside the CLI/config layer — route "
+                        "through repro.util.wallclock.getenv",
+                    )
+                )
+        elif isinstance(node, ast.Attribute):
+            resolved = ctx.resolve(node)
+            if resolved in ("os.environ", "os.environb"):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "DET106",
+                        f"{resolved} access outside the CLI/config layer — "
+                        "route through repro.util.wallclock.getenv",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------- SIM2xx rules
+
+#: Calls that block on the real world: inside the event loop they stall
+#: every simulated component at once and couple results to host timing.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "select.select",
+    }
+)
+
+_BLOCKING_MODULES = frozenset(
+    {
+        "socket",
+        "subprocess",
+        "threading",
+        "multiprocessing",
+        "asyncio",
+        "selectors",
+        "requests",
+        "urllib",
+        "http",
+        "ssl",
+        "signal",
+    }
+)
+
+
+@rule(
+    "SIM201",
+    "real-blocking-call",
+    "real blocking primitive inside a simulated layer",
+)
+def sim201_blocking(ctx: LintContext) -> list[Finding]:
+    if not ctx.config.in_sim_layer(ctx.relpath):
+        return []
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            if (
+                resolved in _BLOCKING_CALLS
+                or resolved.split(".")[0] in _BLOCKING_MODULES
+            ):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "SIM201",
+                        f"real blocking call {resolved}() in a simulated "
+                        "layer — only env.timeout()/env.now may pass time",
+                    )
+                )
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            mods = (
+                [a.name for a in node.names]
+                if isinstance(node, ast.Import)
+                else [node.module or ""]
+            )
+            for mod in mods:
+                if mod.split(".")[0] in _BLOCKING_MODULES:
+                    findings.append(
+                        ctx.finding(
+                            node,
+                            "SIM201",
+                            f"imports real-concurrency module {mod} in a "
+                            "simulated layer",
+                        )
+                    )
+    return findings
+
+
+def _walk_local(node: ast.AST):
+    """Walk ``node`` without descending into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _func_yields(fn: ast.AST) -> bool:
+    return any(
+        isinstance(n, (ast.Yield, ast.YieldFrom)) for n in _walk_local(fn)
+    )
+
+
+def _is_release_call(node: ast.AST, name: str) -> bool:
+    """``pool.finish(req)`` / ``pool.release(req)`` / ``req.release()``."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    attr = node.func.attr
+    if attr in ("finish", "release", "cancel"):
+        if any(
+            isinstance(arg, ast.Name) and arg.id == name for arg in node.args
+        ):
+            return True
+        if (
+            isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+            and not node.args
+        ):
+            return True
+    return False
+
+
+@rule(
+    "SIM202",
+    "resource-leak",
+    "Resource.request() whose release is not on all exception paths",
+)
+def sim202_resource_leak(ctx: LintContext) -> list[Finding]:
+    if not ctx.config.in_sim_layer(ctx.relpath):
+        return []
+    findings = []
+    functions = [
+        n
+        for n in ast.walk(ctx.tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for fn in functions:
+        for stmt in _walk_local(fn):
+            # ``with pool.request() as req:`` handles its own cleanup.
+            if isinstance(stmt, ast.Expr) and _is_request_call(stmt.value):
+                findings.append(
+                    ctx.finding(
+                        stmt,
+                        "SIM202",
+                        "request() result discarded — the grant can never "
+                        "be released",
+                    )
+                )
+                continue
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and _is_request_call(stmt.value)
+            ):
+                continue
+            name = stmt.targets[0].id
+            releases = [
+                n for n in _walk_local(fn) if _is_release_call(n, name)
+            ]
+            if not releases:
+                findings.append(
+                    ctx.finding(
+                        stmt,
+                        "SIM202",
+                        f"request() assigned to '{name}' is never released "
+                        "in this function — use try/finally or a with block",
+                    )
+                )
+                continue
+            # A release is exception-safe when it sits in a finally suite.
+            # For simulated processes (generators), any yield between the
+            # request and a bare release is an interrupt window: the
+            # release must be in a finally to run on Interrupt.
+            safe = any(ctx.in_finally(r) for r in releases)
+            if not safe and _func_yields(fn):
+                findings.append(
+                    ctx.finding(
+                        stmt,
+                        "SIM202",
+                        f"release of '{name}' is not in a finally suite — "
+                        "an Interrupt raised at a yield leaks the grant",
+                    )
+                )
+    return findings
+
+
+def _is_request_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "request"
+    )
+
+
+# -------------------------------------------------------------- PERF3xx rules
+
+#: Base-class names (last dotted segment) that legitimately preclude or
+#: excuse ``__slots__``.
+_SLOTS_EXEMPT_BASES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "Protocol",
+        "Enum",
+        "IntEnum",
+        "StrEnum",
+        "Flag",
+        "IntFlag",
+        "NamedTuple",
+        "TypedDict",
+        "ABC",
+        "type",
+    }
+)
+
+_SLOTS_EXEMPT_SUFFIXES = ("Error", "Exception", "Warning", "Interrupt")
+
+
+def _slots_exempt(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name in _SLOTS_EXEMPT_BASES or name.endswith(_SLOTS_EXEMPT_SUFFIXES):
+            return True
+    for kw in node.keywords:  # class C(metaclass=..., ...)
+        if kw.arg == "metaclass":
+            return True
+    return False
+
+
+@rule(
+    "PERF301",
+    "missing-slots",
+    "hot-module class lacks __slots__",
+)
+def perf301_missing_slots(ctx: LintContext) -> list[Finding]:
+    if not ctx.config.is_hot(ctx.relpath):
+        return []
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if _slots_exempt(node):
+            continue
+        has_slots = any(
+            (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__slots__"
+                    for t in stmt.targets
+                )
+            )
+            or (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            )
+            for stmt in node.body
+        )
+        if has_slots:
+            continue
+        is_dc_slotted = dataclass_slots_decorator(node)
+        if is_dc_slotted:
+            continue
+        hint = (
+            "pass slots=True to @dataclass"
+            if is_dc_slotted is False
+            else "declare __slots__"
+        )
+        findings.append(
+            ctx.finding(
+                node,
+                "PERF301",
+                f"class {node.name} in a hot module has no __slots__ — "
+                f"instances carry a __dict__ on the allocation path; {hint}",
+            )
+        )
+    return findings
+
+
+@rule(
+    "PERF302",
+    "slot-violation",
+    "slotted class assigns an attribute not declared in __slots__",
+)
+def perf302_slot_violation(ctx: LintContext) -> list[Finding]:
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = ctx.project.lookup(f"{ctx.module}.{node.name}")
+        if info is None or info.slots is None or info.opaque:
+            continue
+        allowed = ctx.project.resolve_slots(info)
+        if allowed is None:
+            continue  # some base unslotted/unresolvable: __dict__ possible
+        # Class-level names (methods, class attrs) are not instance slots
+        # but are readable; only *assignments* through self must hit slots
+        # or descriptors.
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not method.args.args:
+                continue
+            self_name = method.args.args[0].arg
+            for sub in _walk_local(method):
+                target: Optional[ast.Attribute] = None
+                if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        sub.targets
+                        if isinstance(sub, ast.Assign)
+                        else [sub.target]
+                    )
+                    for t in targets:
+                        if (
+                            isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == self_name
+                        ):
+                            target = t
+                            break
+                if target is None:
+                    continue
+                if target.attr not in allowed:
+                    findings.append(
+                        ctx.finding(
+                            target,
+                            "PERF302",
+                            f"assignment to self.{target.attr} not declared "
+                            f"in __slots__ of {node.name} (or its bases) — "
+                            "AttributeError at runtime",
+                        )
+                    )
+    return findings

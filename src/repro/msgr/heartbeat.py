@@ -33,6 +33,19 @@ __all__ = ["HeartbeatAgent"]
 class HeartbeatAgent:
     """Periodic pinger + last-seen tracker for one daemon."""
 
+    __slots__ = (
+        "messenger",
+        "peer_addrs",
+        "interval",
+        "grace",
+        "osdmap",
+        "whoami",
+        "last_seen",
+        "_tid",
+        "_peer_ids",
+        "_procs",
+    )
+
     def __init__(
         self,
         messenger: AsyncMessenger,

@@ -12,6 +12,11 @@ distribution attaches the live OSDMap object by reference (serializing a
 whole map faithfully is out of scope and irrelevant to the phenomena
 under study; its wire *size* is still modelled via ``map_bytes``).
 """
+# repro-lint: disable-file=PERF301 — the Message hierarchy is deliberately
+# unslotted: the ClassVar span/throttle annotations (span_ctx, op_span, ...)
+# are class-level None defaults that tracing and throttling overwrite
+# per-instance on the few messages they touch, which requires __dict__.
+# Slotting would force the five fields onto every message instead.
 
 from __future__ import annotations
 

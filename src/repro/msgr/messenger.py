@@ -47,7 +47,7 @@ __all__ = [
 MSGR_CATEGORY = "msgr-worker"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessengerCostModel:
     """CPU costs of messenger-internal work (beyond the TCP stack)."""
 
@@ -84,6 +84,8 @@ class Dispatcher(Protocol):
 class MsgrDirectory:
     """Address → messenger registry for one simulated fabric."""
 
+    __slots__ = ("_endpoints",)
+
     def __init__(self) -> None:
         self._endpoints: dict[str, "AsyncMessenger"] = {}
 
@@ -101,6 +103,16 @@ class MsgrDirectory:
 
 class Connection:
     """One ordered, bidirectional peer link (as seen from one side)."""
+
+    __slots__ = (
+        "messenger",
+        "peer_addr",
+        "worker",
+        "_wire_queue",
+        "_pump",
+        "messages_sent",
+        "bytes_sent",
+    )
 
     def __init__(
         self,
@@ -159,6 +171,8 @@ class Connection:
 
 class _Worker:
     """One msgr-worker thread: serial event loop over its connections."""
+
+    __slots__ = ("messenger", "index", "thread", "queue", "proc")
 
     def __init__(self, messenger: "AsyncMessenger", index: int) -> None:
         self.messenger = messenger
@@ -287,6 +301,24 @@ class AsyncMessenger:
     throttle_bytes:
         Dispatch throttle capacity; ``None`` disables throttling.
     """
+
+    __slots__ = (
+        "stack",
+        "name",
+        "directory",
+        "cost",
+        "dispatcher",
+        "_workers",
+        "_connections",
+        "_conn_counter",
+        "throttle",
+        "down",
+        "messages_sent",
+        "messages_received",
+        "bytes_sent",
+        "bytes_received",
+        "messages_dropped",
+    )
 
     def __init__(
         self,

@@ -65,7 +65,7 @@ __all__ = ["OsdDaemon", "OsdConfig", "OSD_CATEGORY"]
 OSD_CATEGORY = "tp_osd_tp"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OsdConfig:
     """OSD thread counts and CPU cost constants."""
 
@@ -91,6 +91,8 @@ class OsdConfig:
 class _InFlightWrite:
     """Tracks one client write until commit + all replica acks."""
 
+    __slots__ = ("ack_events", "_next")
+
     def __init__(self, needed_acks: int, env: Any) -> None:
         self.ack_events: list[Event] = [env.event() for _ in range(needed_acks)]
         self._next = 0
@@ -102,6 +104,45 @@ class _InFlightWrite:
 
 class OsdDaemon:
     """One Object Storage Daemon."""
+
+    __slots__ = (
+        "osd_id",
+        "name",
+        "messenger",
+        "store",
+        "osdmap",
+        "config",
+        "env",
+        "pgs",
+        "member_pgs",
+        "_op_queue",
+        "_op_threads",
+        "_completion_thread",
+        "_op_procs",
+        "_repop_tid",
+        "_inflight",
+        "heartbeat",
+        "recovery",
+        "scrub",
+        "tracker",
+        "alive",
+        "incarnation",
+        "_beacon_proc",
+        "_beacon_cfg",
+        "_hb_cfg",
+        "_recovery_cfg",
+        "_scrub_cfg",
+        "_down_handled",
+        "client_ops",
+        "repops",
+        "bytes_written",
+        "bytes_read",
+        "crashes",
+        "restarts",
+        "rejoins",
+        "misdirected_ops",
+        "objects_discarded",
+    )
 
     def __init__(
         self,

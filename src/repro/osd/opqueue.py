@@ -65,6 +65,19 @@ class WeightedPriorityQueue:
     using a deterministic seeded RNG so simulations stay reproducible.
     """
 
+    __slots__ = (
+        "env",
+        "_seq",
+        "_strict",
+        "_weighted",
+        "_waiters",
+        "_rng",
+        "_depth",
+        "enqueued",
+        "dequeued",
+        "max_depth",
+    )
+
     def __init__(self, env: Environment, seed: int = 0) -> None:
         self.env = env
         self._seq = 0

@@ -70,6 +70,14 @@ class TrackedOp:
 class OpTracker:
     """Bounded registry of in-flight and recently completed ops."""
 
+    __slots__ = (
+        "history_size",
+        "_next_id",
+        "in_flight",
+        "historic",
+        "ops_tracked",
+    )
+
     def __init__(self, history_size: int = 256) -> None:
         if history_size < 1:
             raise ValueError("history_size must be >= 1")

@@ -15,7 +15,7 @@ from ..rados.types import PgId
 __all__ = ["PlacementGroup"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PlacementGroup:
     """One PG as seen by one OSD."""
 

@@ -30,7 +30,7 @@ if TYPE_CHECKING:
 __all__ = ["RecoveryManager"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _PushWindow:
     """Flow control for one outgoing recovery stream."""
 
@@ -40,6 +40,26 @@ class _PushWindow:
 
 class RecoveryManager:
     """Per-OSD recovery logic (both puller and pusher roles)."""
+
+    __slots__ = (
+        "osd",
+        "env",
+        "pool_names",
+        "tick",
+        "max_push_inflight",
+        "pull_timeout",
+        "_pulling",
+        "_pull_attempts",
+        "_tid",
+        "_windows",
+        "pulls_sent",
+        "pulls_retried",
+        "pushes_sent",
+        "objects_recovered",
+        "bytes_recovered",
+        "pgs_recovered",
+        "_proc",
+    )
 
     def __init__(
         self,

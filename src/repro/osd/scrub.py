@@ -32,6 +32,20 @@ def _digest(name: str, version: int) -> int:
 class ScrubManager:
     """Round-robin light scrubber for the PGs this OSD leads."""
 
+    __slots__ = (
+        "osd",
+        "env",
+        "pool_names",
+        "interval",
+        "_tid",
+        "_pending",
+        "_cursor",
+        "scrubs_completed",
+        "objects_scrubbed",
+        "inconsistencies",
+        "_proc",
+    )
+
     def __init__(
         self,
         osd: "OsdDaemon",

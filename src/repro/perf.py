@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import cProfile
 import pstats
-import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -39,6 +38,7 @@ from .cluster.config import DocephProfile
 from .faults import FaultPlan
 from .sim import Environment
 from .trace import simulation_digest
+from .util.wallclock import perf_counter
 
 __all__ = [
     "PerfScenario",
@@ -245,9 +245,9 @@ def measure(
     digest = None
     env = result = None
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0 = perf_counter()
         env, result = run_scenario(scenario, seed=seed, tracer=tracer)
-        wall = time.perf_counter() - t0
+        wall = perf_counter() - t0
         d = simulation_digest(env)
         if digest is None:
             digest = d
@@ -327,15 +327,15 @@ def measure_hook_overhead(
     detached_wall = noop_wall = None
     detached_digest = noop_digest = None
     for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
+        t0 = perf_counter()
         env_d, _ = run_scenario(scenario, seed=seed, fault_plan=None)
-        w = time.perf_counter() - t0
+        w = perf_counter() - t0
         detached_wall = w if detached_wall is None else min(detached_wall, w)
         detached_digest = simulation_digest(env_d)
 
-        t0 = time.perf_counter()
+        t0 = perf_counter()
         env_n, _ = run_scenario(scenario, seed=seed, fault_plan=noop)
-        w = time.perf_counter() - t0
+        w = perf_counter() - t0
         noop_wall = w if noop_wall is None else min(noop_wall, w)
         noop_digest = simulation_digest(env_n)
     return HookOverhead(

@@ -70,7 +70,7 @@ register_fresh_env_hook(reset_blob_ids)
 _STR_CACHE: dict[str, bytes] = {}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataBlob:
     """A virtual bulk-data extent: identity + length, no materialized bytes.
 
@@ -117,6 +117,8 @@ Extent = Union[bytes, DataBlob]
 
 class BufferList:
     """An append-only list of real-byte and virtual-blob extents."""
+
+    __slots__ = ("_extents", "_tail", "_length")
 
     def __init__(self) -> None:
         self._extents: list[Extent] = []
@@ -246,6 +248,8 @@ class BufferList:
 
 class BufferDecoder:
     """Sequential decoding cursor over a bufferlist's extents."""
+
+    __slots__ = ("_extents", "_idx", "_pos")
 
     def __init__(self, extents: list[Extent]) -> None:
         self._extents = extents

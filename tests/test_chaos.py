@@ -21,6 +21,7 @@ from repro.chaos import (
 from repro.cluster import BENCH_POOL, build_baseline_cluster
 from repro.msgr import MOSDBeacon
 from repro.msgr.message import MOSDOpReply
+from repro.osd.daemon import OsdDaemon
 from repro.rados import OsdState
 from repro.sim import Environment
 from repro.util.bufferlist import DataBlob
@@ -267,27 +268,28 @@ def test_durability_checker_catches_broken_ack_path():
     them must produce violations."""
     env, c = make_cluster()
 
-    def break_osd(osd):
-        def lying_write(msg, thread):
-            yield from thread.charge(osd.config.reply_cpu)
-            osd.messenger.send_message(
-                MOSDOpReply(tid=msg.tid, result=0, version=1), msg.src
-            )
-            release = getattr(msg, "throttle_release", None)
-            if release is not None:
-                release()
+    # OsdDaemon is slotted, so the lying write path is installed on the
+    # class (every OSD in this fresh cluster lies) and restored after.
+    def lying_write(self, msg, thread):
+        yield from thread.charge(self.config.reply_cpu)
+        self.messenger.send_message(
+            MOSDOpReply(tid=msg.tid, result=0, version=1), msg.src
+        )
+        release = getattr(msg, "throttle_release", None)
+        if release is not None:
+            release()
 
-        osd._handle_client_write = lying_write
-
-    for osd in c.osds:
-        break_osd(osd)
-
-    checker = DurabilityChecker(c)
-    written = write_objects(env, c, ["lie-0", "lie-1"])
-    for name, (blob, res) in written.items():
-        checker.record(name, 1 << 16, blob, res.version, env.now)
-    v = env.process(checker.verify(c.client))
-    env.run(until=v)
+    original = OsdDaemon._handle_client_write
+    OsdDaemon._handle_client_write = lying_write
+    try:
+        checker = DurabilityChecker(c)
+        written = write_objects(env, c, ["lie-0", "lie-1"])
+        for name, (blob, res) in written.items():
+            checker.record(name, 1 << 16, blob, res.version, env.now)
+        v = env.process(checker.verify(c.client))
+        env.run(until=v)
+    finally:
+        OsdDaemon._handle_client_write = original
     assert checker.violations  # every acked write is missing
     assert any("lie-0" in s for s in checker.violations)
 

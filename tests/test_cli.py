@@ -102,3 +102,70 @@ def test_trace_command_runs(capsys, tmp_path):
     assert doc["traceEvents"]
     kinds = {ev["ph"] for ev in doc["traceEvents"]}
     assert {"X", "M", "s", "f"} <= kinds
+
+
+def test_lint_command_clean_tree_exits_zero(capsys, tmp_path):
+    pkg = tmp_path / "repro" / "hw"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text(
+        "class Thing:\n    __slots__ = ('x',)\n", encoding="utf-8"
+    )
+    code = main(["lint", str(tmp_path),
+                 "--baseline", str(tmp_path / "baseline.txt")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s)" in out
+
+
+def test_lint_command_new_findings_exit_three(capsys, tmp_path):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import time\n\n"
+        "class Hot:\n"
+        "    def tick(self):\n"
+        "        time.sleep(1)\n"
+        "        return time.time()\n",
+        encoding="utf-8",
+    )
+    code = main(["lint", str(tmp_path),
+                 "--baseline", str(tmp_path / "baseline.txt")])
+    assert code == 3
+    out = capsys.readouterr().out
+    assert "DET101" in out
+    assert "SIM201" in out
+    assert "PERF301" in out
+
+
+def test_lint_fix_baseline_then_clean(capsys, tmp_path):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import time\n\nnow = time.time()\n", encoding="utf-8"
+    )
+    baseline = tmp_path / "baseline.txt"
+    assert main(["lint", str(tmp_path), "--baseline", str(baseline),
+                 "--fix-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    # baselined findings no longer fail the run...
+    assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+    # ...but a fresh violation still does.
+    (pkg / "worse.py").write_text(
+        "import time\n\nlater = time.time()\n", encoding="utf-8"
+    )
+    assert main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 3
+
+
+def test_lint_shipped_tree_is_clean():
+    assert main(["lint", "src"]) == 0
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_code in ("DET101", "DET106", "SIM201", "SIM202",
+                      "PERF301", "PERF302"):
+        assert rule_code in out

@@ -1,0 +1,556 @@
+"""Tests for repro.lint: rule fixtures, suppressions, baseline, dynamic.
+
+Every rule code gets a good/bad snippet pair; the engine-level features
+(suppression comments, baseline round-trip, path-role exemptions) and
+the dynamic tie-order probe get targeted tests of their own.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    check_tie_order,
+    filter_new,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    patched_tie_order,
+    save_baseline,
+)
+from repro.sim import Environment
+from repro.trace import simulation_digest
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+# ------------------------------------------------------------------ DET101
+
+
+def test_det101_flags_wall_clock_calls():
+    src = "import time\n\ndef f():\n    return time.time()\n"
+    assert codes(lint_source(src, "repro/util/stats.py")) == ["DET101"]
+
+
+def test_det101_flags_from_import_of_clock_primitive():
+    src = "from time import perf_counter\n"
+    assert codes(lint_source(src, "repro/util/stats.py")) == ["DET101"]
+
+
+def test_det101_resolves_aliases():
+    src = "import time as t\n\ndef f():\n    return t.monotonic()\n"
+    assert codes(lint_source(src, "repro/util/stats.py")) == ["DET101"]
+
+
+def test_det101_clean_and_wallclock_module_exempt():
+    good = "from repro.util.wallclock import perf_counter\n\nx = perf_counter()\n"
+    assert lint_source(good, "repro/util/stats.py") == []
+    clock = "import time\n\ndef f():\n    return time.perf_counter()\n"
+    assert lint_source(clock, "repro/util/wallclock.py") == []
+
+
+def test_det101_flags_datetime_now():
+    src = "import datetime\n\nstamp = datetime.datetime.now()\n"
+    assert codes(lint_source(src, "repro/util/stats.py")) == ["DET101"]
+
+
+# ------------------------------------------------------------------ DET102
+
+
+def test_det102_flags_entropy_sources():
+    src = "import uuid\nimport os\n\na = uuid.uuid4()\nb = os.urandom(8)\n"
+    found = lint_source(src, "repro/util/stats.py", select=["DET102"])
+    assert [f.code for f in found] == ["DET102", "DET102"]
+
+
+def test_det102_clean_on_derived_ids():
+    src = "import uuid\n\nn = uuid.UUID(int=7)\n"
+    assert lint_source(src, "repro/util/stats.py", select=["DET102"]) == []
+
+
+# ------------------------------------------------------------------ DET103
+
+
+def test_det103_flags_global_random_and_unseeded_rng():
+    src = "import random\n\nx = random.random()\ny = random.Random()\n"
+    found = lint_source(src, "repro/util/stats.py", select=["DET103"])
+    assert [f.code for f in found] == ["DET103", "DET103"]
+
+
+def test_det103_allows_seeded_rng_and_rng_module():
+    good = "import random\n\nr = random.Random(42)\n"
+    assert lint_source(good, "repro/util/stats.py", select=["DET103"]) == []
+    bad = "import random\n\nx = random.random()\n"
+    assert lint_source(bad, "repro/util/rng.py", select=["DET103"]) == []
+
+
+# ------------------------------------------------------------------ DET104
+
+
+def test_det104_flags_set_iteration_in_for_loop():
+    src = (
+        "def f(items):\n"
+        "    s = set(items)\n"
+        "    out = []\n"
+        "    for x in s:\n"
+        "        out.append(x)\n"
+        "    return out\n"
+    )
+    assert codes(lint_source(src, "repro/util/stats.py")) == ["DET104"]
+
+
+def test_det104_flags_comprehension_and_union():
+    src = (
+        "def f(a, b):\n"
+        "    return [x for x in set(a) | set(b)]\n"
+    )
+    assert codes(lint_source(src, "repro/util/stats.py")) == ["DET104"]
+
+
+def test_det104_sorted_wrapper_is_clean():
+    src = (
+        "def f(items):\n"
+        "    s = set(items)\n"
+        "    return [x for x in sorted(s)]\n"
+    )
+    assert lint_source(src, "repro/util/stats.py") == []
+
+
+def test_det104_join_over_set():
+    src = "def f(a):\n    return ','.join(set(a))\n"
+    assert codes(lint_source(src, "repro/util/stats.py")) == ["DET104"]
+
+
+def test_det104_ignores_reassigned_names():
+    # A name rebound to a list after being a set is not single-assignment
+    # setish, so it is (conservatively) not flagged.
+    src = (
+        "def f(items):\n"
+        "    s = set(items)\n"
+        "    s = sorted(s)\n"
+        "    return [x for x in s]\n"
+    )
+    assert lint_source(src, "repro/util/stats.py") == []
+
+
+# ------------------------------------------------------------------ DET105
+
+
+def test_det105_flags_id_and_hash_keys():
+    src = (
+        "def f(xs):\n"
+        "    xs.sort(key=id)\n"
+        "    return sorted(xs, key=lambda o: hash(o))\n"
+    )
+    found = lint_source(src, "repro/util/stats.py", select=["DET105"])
+    assert [f.code for f in found] == ["DET105", "DET105"]
+
+
+def test_det105_stable_key_is_clean():
+    src = "def f(xs):\n    return sorted(xs, key=lambda o: o.name)\n"
+    assert lint_source(src, "repro/util/stats.py", select=["DET105"]) == []
+
+
+# ------------------------------------------------------------------ DET106
+
+
+def test_det106_flags_env_reads_outside_boundary():
+    src = "import os\n\na = os.getenv('X')\nb = os.environ['Y']\n"
+    found = lint_source(src, "repro/util/stats.py", select=["DET106"])
+    assert [f.code for f in found] == ["DET106", "DET106"]
+
+
+def test_det106_cli_and_config_are_exempt():
+    src = "import os\n\na = os.getenv('X')\n"
+    assert lint_source(src, "repro/cli.py", select=["DET106"]) == []
+    assert lint_source(src, "repro/cluster/config.py", select=["DET106"]) == []
+
+
+# ------------------------------------------------------------------ SIM201
+
+
+def test_sim201_flags_blocking_calls_and_imports_in_sim_layers():
+    src = "import time\nimport socket\n\ndef f():\n    time.sleep(1)\n"
+    found = lint_source(src, "repro/osd/daemon.py", select=["SIM201"])
+    # the socket import and the sleep call
+    assert [f.code for f in found] == ["SIM201", "SIM201"]
+
+
+def test_sim201_outside_sim_layers_is_not_checked():
+    src = "import time\n\ndef f():\n    time.sleep(1)\n"
+    assert lint_source(src, "repro/bench/tool.py", select=["SIM201"]) == []
+
+
+# ------------------------------------------------------------------ SIM202
+
+
+_LEAK = (
+    "def work(pool, env):\n"
+    "    req = pool.request()\n"
+    "    yield req\n"
+    "    yield env.timeout(1)\n"
+)
+
+_BARE_RELEASE = (
+    "def work(pool, env):\n"
+    "    req = pool.request()\n"
+    "    yield req\n"
+    "    yield env.timeout(1)\n"
+    "    pool.finish(req)\n"
+)
+
+_SAFE = (
+    "def work(pool, env):\n"
+    "    req = pool.request()\n"
+    "    try:\n"
+    "        yield req\n"
+    "        yield env.timeout(1)\n"
+    "    finally:\n"
+    "        pool.finish(req)\n"
+)
+
+
+def test_sim202_flags_never_released_request():
+    found = lint_source(_LEAK, "repro/hw/dev.py", select=["SIM202"])
+    assert codes(found) == ["SIM202"]
+    assert "never released" in found[0].message
+
+
+def test_sim202_flags_release_outside_finally_in_generator():
+    found = lint_source(_BARE_RELEASE, "repro/hw/dev.py", select=["SIM202"])
+    assert codes(found) == ["SIM202"]
+    assert "finally" in found[0].message
+
+
+def test_sim202_try_finally_and_with_are_clean():
+    assert lint_source(_SAFE, "repro/hw/dev.py", select=["SIM202"]) == []
+    with_src = (
+        "def work(pool, env):\n"
+        "    with pool.request() as req:\n"
+        "        yield req\n"
+        "        yield env.timeout(1)\n"
+    )
+    assert lint_source(with_src, "repro/hw/dev.py", select=["SIM202"]) == []
+
+
+def test_sim202_discarded_request_is_flagged():
+    src = "def work(pool):\n    pool.request()\n"
+    found = lint_source(src, "repro/hw/dev.py", select=["SIM202"])
+    assert codes(found) == ["SIM202"]
+
+
+# ------------------------------------------------------------------ PERF301
+
+
+def test_perf301_flags_hot_module_class_without_slots():
+    src = "class Thing:\n    def __init__(self):\n        self.x = 1\n"
+    assert codes(lint_source(src, "repro/hw/dev.py")) == ["PERF301"]
+
+
+def test_perf301_slots_and_slotted_dataclass_are_clean():
+    slotted = "class Thing:\n    __slots__ = ('x',)\n"
+    assert lint_source(slotted, "repro/hw/dev.py", select=["PERF301"]) == []
+    dc = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass(slots=True)\n"
+        "class Thing:\n"
+        "    x: int = 0\n"
+    )
+    assert lint_source(dc, "repro/hw/dev.py", select=["PERF301"]) == []
+
+
+def test_perf301_exemptions():
+    exc = "class DevError(Exception):\n    pass\n"
+    assert lint_source(exc, "repro/hw/dev.py", select=["PERF301"]) == []
+    proto = (
+        "from typing import Protocol\n\n"
+        "class Reader(Protocol):\n"
+        "    def read(self):\n"
+        "        ...\n"
+    )
+    assert lint_source(proto, "repro/hw/dev.py", select=["PERF301"]) == []
+    cold = "class Thing:\n    pass\n"
+    assert lint_source(cold, "repro/bench/tool.py", select=["PERF301"]) == []
+
+
+# ------------------------------------------------------------------ PERF302
+
+
+def test_perf302_flags_undeclared_slot_assignment():
+    src = (
+        "class Thing:\n"
+        "    __slots__ = ('x',)\n"
+        "    def __init__(self):\n"
+        "        self.x = 1\n"
+        "    def poke(self):\n"
+        "        self.y = 2\n"
+    )
+    found = lint_source(src, "repro/hw/dev.py", select=["PERF302"])
+    assert codes(found) == ["PERF302"]
+    assert "self.y" in found[0].message
+
+
+def test_perf302_declared_slots_and_properties_are_clean():
+    src = (
+        "class Thing:\n"
+        "    __slots__ = ('_x',)\n"
+        "    def __init__(self):\n"
+        "        self._x = 1\n"
+        "    @property\n"
+        "    def x(self):\n"
+        "        return self._x\n"
+        "    @x.setter\n"
+        "    def x(self, v):\n"
+        "        self._x = v\n"
+        "    def bump(self):\n"
+        "        self.x = 3\n"
+        "        self._x += 1\n"
+    )
+    assert lint_source(src, "repro/hw/dev.py", select=["PERF302"]) == []
+
+
+def test_perf302_inherited_slots_resolve_within_file():
+    src = (
+        "class Base:\n"
+        "    __slots__ = ('a',)\n"
+        "class Child(Base):\n"
+        "    __slots__ = ('b',)\n"
+        "    def __init__(self):\n"
+        "        self.a = 1\n"
+        "        self.b = 2\n"
+        "    def poke(self):\n"
+        "        self.c = 3\n"
+    )
+    found = lint_source(src, "repro/hw/dev.py", select=["PERF302"])
+    assert len(found) == 1 and "self.c" in found[0].message
+
+
+def test_perf302_unslotted_base_disables_the_check():
+    src = (
+        "class Base:\n"
+        "    pass\n"
+        "class Child(Base):\n"
+        "    __slots__ = ('b',)\n"
+        "    def poke(self):\n"
+        "        self.c = 3\n"  # legal: Base gives instances a __dict__
+    )
+    assert lint_source(src, "repro/msgr/dev.py", select=["PERF302"]) == []
+
+
+def test_perf302_cross_file_base_resolution(tmp_path):
+    pkg = tmp_path / "repro" / "hw"
+    pkg.mkdir(parents=True)
+    (pkg / "base.py").write_text(
+        "class Base:\n    __slots__ = ('a',)\n", encoding="utf-8"
+    )
+    (pkg / "child.py").write_text(
+        "from .base import Base\n\n"
+        "class Child(Base):\n"
+        "    __slots__ = ('b',)\n"
+        "    def poke(self):\n"
+        "        self.a = 1\n"
+        "        self.zap = 9\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([tmp_path], select=["PERF302"])
+    assert len(report.findings) == 1
+    assert "self.zap" in report.findings[0].message
+
+
+# ------------------------------------------------------------- suppressions
+
+
+def test_line_suppression_silences_one_line():
+    src = (
+        "import time\n\n"
+        "a = time.time()  # repro-lint: disable=DET101\n"
+        "b = time.time()\n"
+    )
+    found = lint_source(src, "repro/util/stats.py")
+    assert len(found) == 1 and found[0].line == 4
+
+
+def test_file_suppression_silences_whole_file():
+    src = (
+        "# repro-lint: disable-file=DET101 — test justification\n"
+        "import time\n\n"
+        "a = time.time()\nb = time.time()\n"
+    )
+    assert lint_source(src, "repro/util/stats.py") == []
+
+
+def test_disable_all_on_a_line():
+    src = (
+        "import time\n\n"
+        "a = time.time()  # repro-lint: disable=all\n"
+    )
+    assert lint_source(src, "repro/util/stats.py") == []
+
+
+def test_suppression_is_code_specific():
+    src = (
+        "import time\n\n"
+        "a = time.time()  # repro-lint: disable=DET106\n"
+    )
+    assert codes(lint_source(src, "repro/util/stats.py")) == ["DET101"]
+
+
+# ----------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = lint_source(
+        "import time\n\na = time.time()\nb = time.time()\n",
+        "repro/util/stats.py",
+    )
+    assert len(findings) == 2
+    path = tmp_path / "baseline.txt"
+    save_baseline(path, findings)
+    loaded = load_baseline(path)
+    assert filter_new(findings, loaded) == []
+
+
+def test_baseline_budget_counts_duplicates(tmp_path):
+    # Two findings with identical fingerprints: baselining one copy
+    # still reports the second.
+    findings = lint_source(
+        "import time\n\ndef f():\n    a = time.time()\n    a = time.time()\n",
+        "repro/util/stats.py",
+    )
+    assert len(findings) == 2
+    assert findings[0].fingerprint() == findings[1].fingerprint()
+    path = tmp_path / "baseline.txt"
+    save_baseline(path, findings[:1])
+    new = filter_new(findings, load_baseline(path))
+    assert len(new) == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.txt") == {}
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("not a valid record\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_fingerprint_survives_line_shifts():
+    before = lint_source(
+        "import time\n\ndef f():\n    return time.time()\n",
+        "repro/util/stats.py",
+    )
+    after = lint_source(
+        "import time\n\n# a new comment shifting everything down\n\n"
+        "def f():\n    return time.time()\n",
+        "repro/util/stats.py",
+    )
+    assert before[0].fingerprint() == after[0].fingerprint()
+    assert before[0].line != after[0].line
+
+
+def test_shipped_tree_is_clean():
+    """Acceptance: the shipped src/ tree has zero findings."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    report = lint_paths([root / "src"])
+    assert report.findings == [], report.render()
+
+
+# ------------------------------------------------------------ dynamic probe
+
+
+def _run_order_sensitive() -> Environment:
+    """Toy scenario whose behavior leans on same-timestamp tie order.
+
+    Both processes initialize at t=0 with equal priority; whichever runs
+    first decides whether ``b`` schedules an extra timeout, so the event
+    count (and therefore the digest) depends on the tie-break.
+    """
+    env = Environment()
+    state = {"flag": False}
+
+    def a(env):
+        state["flag"] = True
+        yield env.timeout(1)
+
+    def b(env):
+        if state["flag"]:
+            yield env.timeout(1)
+        yield env.timeout(1)
+
+    env.process(a(env), name="racer-a")
+    env.process(b(env), name="racer-b")
+    env.run()
+    return env
+
+
+def _run_order_independent() -> Environment:
+    """Single process chain: no same-timestamp ties exist at all."""
+    env = Environment()
+
+    def solo(env):
+        for _ in range(5):
+            yield env.timeout(1)
+
+    env.process(solo(env), name="solo")
+    env.run()
+    return env
+
+
+def test_dynamic_detects_order_sensitive_scenario():
+    report = check_tie_order(
+        "toy", seed=0, runner=lambda name, seed: _run_order_sensitive()
+    )
+    assert report.instrumentation_ok, "FIFO drain must match the native loop"
+    assert report.order_sensitive
+    assert report.ties_seen >= 1
+    # the offending site names the racing processes
+    rendered = "\n".join(site.render() for site in report.tie_sites)
+    assert "racer-a" in rendered and "racer-b" in rendered
+
+
+def test_dynamic_passes_order_independent_scenario():
+    report = check_tie_order(
+        "toy", seed=0, runner=lambda name, seed: _run_order_independent()
+    )
+    assert report.instrumentation_ok
+    assert not report.order_sensitive
+    assert report.tie_sites == []
+
+
+def test_fifo_drain_is_digest_neutral_with_until_events():
+    """The instrumented loop must reproduce native semantics for the
+    repeated ``run(until=process)`` pattern the benches use."""
+
+    def scenario() -> Environment:
+        env = Environment()
+
+        def worker(env, delay):
+            yield env.timeout(delay)
+            yield env.timeout(delay)
+
+        procs = [
+            env.process(worker(env, d), name=f"w{d}") for d in (1, 1, 2)
+        ]
+        for p in procs:
+            env.run(until=p)
+        env.run()
+        return env
+
+    native = simulation_digest(scenario())
+    with patched_tie_order("fifo"):
+        drained = simulation_digest(scenario())
+    assert native == drained
+
+
+def test_rule_catalogue_is_complete():
+    assert sorted(RULES) == [
+        "DET101", "DET102", "DET103", "DET104", "DET105", "DET106",
+        "PERF301", "PERF302", "SIM201", "SIM202",
+    ]
