@@ -129,6 +129,7 @@ class DurabilityChecker:
                 self.violations.append(
                     f"{oid}: size {stat.size} != acked {rec.size}"
                 )
+                continue
             try:
                 rd = yield from client.read_object(self.pool, oid, rec.size)
             except RadosError as exc:
@@ -145,12 +146,16 @@ class DurabilityChecker:
                 self.violations.append(
                     f"{oid}: short read {rd.data.length} != {rec.size}"
                 )
+                continue
             content = rd.data.root_id
             if content != rec.root_id:
                 self.violations.append(
                     f"{oid}: payload identity {content} != acked "
                     f"{rec.root_id} (lost or clobbered write)"
                 )
+                continue
+            # Only objects that passed every check count as verified; a
+            # violated object must never inflate the pass counter.
             self.objects_verified += 1
         self.check_replicas()
         return self.violations
@@ -288,8 +293,12 @@ class ChaosController:
         t0 = env.now
         self.events.append(("restart", osd.osd_id, env.now))
         yield from osd.restart()
-        yield from self.wait_all_clean()
-        self.recovery_to_clean.append(env.now - t0)
+        clean = yield from self.wait_all_clean()
+        # A timed-out settle is not a recovery sample: recording
+        # settle_timeout seconds as "recovery" would skew the
+        # fingerprinted stats (the timeout is already counted).
+        if clean:
+            self.recovery_to_clean.append(env.now - t0)
 
     def _run_partition(
         self, incident: ChaosIncident
@@ -307,8 +316,9 @@ class ChaosController:
         yield env.timeout(incident.duration)
         t0 = env.now
         self.events.append(("heal", osd.osd_id, env.now))
-        yield from self.wait_all_clean()
-        self.recovery_to_clean.append(env.now - t0)
+        clean = yield from self.wait_all_clean()
+        if clean:
+            self.recovery_to_clean.append(env.now - t0)
 
     # -- settle -----------------------------------------------------------------
     def wait_all_clean(self) -> Generator[Any, Any, bool]:
@@ -323,7 +333,9 @@ class ChaosController:
 
     def all_clean(self) -> bool:
         """Every daemon alive + marked up, every PG fully replicated and
-        clean on each acting member."""
+        clean on each acting member — and no acting member behind any
+        holder's content generation (an unfinished merge of interim
+        writes is not clean, even if the member's own flag says so)."""
         cluster = self.cluster
         osdmap = cluster.osdmap
         for osd in cluster.osds:
@@ -334,12 +346,19 @@ class ChaosController:
             acting = osdmap.pg_to_osds(pgid)
             if len(acting) < min(pool.size, len(cluster.osds)):
                 return False
+            max_gen = max(
+                (osdmap.holder_gen(pgid, o)
+                 for o in osdmap.holders_of(pgid)),
+                default=0,
+            )
             for osd_id in acting:
                 osd = cluster.osds[osd_id]
                 if pgid not in osd.member_pgs:
                     return False
                 pg = osd.pgs.get(pgid)
                 if pg is not None and not pg.clean:
+                    return False
+                if osdmap.holder_gen(pgid, osd_id) < max_gen:
                     return False
         return True
 
@@ -472,19 +491,32 @@ def run_chaos(
     partitions: int = 1,
     profile: Optional[HardwareProfile] = None,
     tracer: Any = None,
+    fault_plan: Any = None,
+    think_time: float = 0.0,
 ) -> ChaosReport:
     """One full chaos experiment: boot, write under a seeded schedule of
     crashes and partitions, heal, then verify every acked write.
 
     Pass a :class:`~repro.trace.Tracer` to capture spans across the run
     (crashed ops show error spans, resends show retry links); tracing
-    never changes the simulated schedule."""
+    never changes the simulated schedule.  Pass a
+    :class:`~repro.faults.FaultPlan` to layer per-operation faults
+    (dma/rpc/net/storage) under the crash/partition schedule — the
+    fuzzer composes both; the plan's injection counters are readable on
+    the plan object afterwards.  ``think_time`` inserts a fixed pause
+    between consecutive writes of each I/O context (open-loop-ish
+    pacing); the default ``0.0`` preserves the original closed-loop
+    event sequence byte-for-byte."""
     profile = profile or chaos_profile(mode)
     env = Environment()
     if mode == "doceph":
-        cluster = build_doceph_cluster(env, profile, tracer=tracer)
+        cluster = build_doceph_cluster(
+            env, profile, fault_plan=fault_plan, tracer=tracer
+        )
     else:
-        cluster = build_baseline_cluster(env, profile, tracer=tracer)
+        cluster = build_baseline_cluster(
+            env, profile, fault_plan=fault_plan, tracer=tracer
+        )
     client = cluster.client
     assert client is not None
 
@@ -512,9 +544,11 @@ def run_chaos(
                 )
             except RadosError:
                 failed[0] += 1
-                continue
-            max_latency[0] = max(max_latency[0], res.latency)
-            checker.record(oid, object_size, blob, res.version, env.now)
+            else:
+                max_latency[0] = max(max_latency[0], res.latency)
+                checker.record(oid, object_size, blob, res.version, env.now)
+            if think_time > 0.0:
+                yield env.timeout(think_time)
 
     chaos_proc = controller.start()
     workers = [
@@ -525,8 +559,14 @@ def run_chaos(
     for w in workers:
         env.run(until=w)
 
-    # final heal: recovery triggered by the last client writes may still
-    # be trailing; settle before judging durability
+    # final heal: per-operation fault injection stops here — the oracle
+    # promises "once the faults stop and the cluster settles, every
+    # acked write is intact", and an open-ended probabilistic spec
+    # would otherwise fail the verifier's own reads forever.  Recovery
+    # triggered by the last client writes may still be trailing; settle
+    # before judging durability.
+    if fault_plan is not None:
+        fault_plan.quiesce(env.now)
     settle = env.process(controller.wait_all_clean(), name="chaos-settle")
     env.run(until=settle)
 

@@ -8,6 +8,8 @@ Usage::
     python -m repro bench --faults "dma,p=0.3" --fault-seed 7
     python -m repro faults --plan "rpc:reply_loss,p=0.2" --size 4M
     python -m repro chaos --seeds 0,1,2 --crashes 3 --partitions 1 --replay
+    python -m repro fuzz --seed 0 --iterations 25 --corpus corpus
+    python -m repro fuzz --replay corpus/crash-missing-0123abcd.plan
     python -m repro trace --mode doceph --size 1M --out trace.json --replay
     python -m repro fig8 --duration 20     # longer, steadier runs
 
@@ -393,6 +395,77 @@ def _cmd_perf(args: argparse.Namespace) -> tuple[str, int]:
     return "\n".join(lines), code
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> tuple[str, int]:
+    """Coverage-guided scenario fuzzing (repro.fuzz).
+
+    Returns (report text, exit code): 3 when the session found a
+    durability/no-hang violation or a corpus entry regressed — the
+    shrunk minimal plan is printed so the failure can be replayed with
+    ``--replay``; 2 when ``--replay`` is given an unparseable plan."""
+    from .fuzz import execute_scenario, run_fuzz, scenario_from_text
+    from .fuzz import violation_signature
+
+    if args.replay:
+        try:
+            text = pathlib.Path(args.replay).read_text()
+        except OSError as exc:
+            raise ValueError(f"cannot read plan {args.replay!r}: {exc}")
+        scenario = scenario_from_text(text)
+        outcome = execute_scenario(scenario)
+        lines = [
+            f"replay {args.replay}: {scenario!r}",
+            f"  acked {outcome.writes_acked}, failed"
+            f" {outcome.writes_failed},"
+            f" max op latency {outcome.max_op_latency:.3f}s"
+            f" (bound {outcome.latency_bound:.3f}s)",
+        ]
+        if outcome.aborted:
+            lines.append(f"  aborted: {outcome.aborted}")
+        for violation in outcome.violations:
+            lines.append(f"  violation: {violation}")
+        if outcome.violations:
+            lines.append(
+                f"replay: VIOLATION"
+                f" [{violation_signature(outcome.violations)}]"
+            )
+            return "\n".join(lines), 3
+        lines.append("replay: pass")
+        return "\n".join(lines), 0
+
+    log_lines: list[str] = []
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus,
+        log=log_lines.append,
+    )
+    lines = list(log_lines)
+    lines.append(
+        f"fuzz: seed {report.seed}, {report.iterations_run} iteration(s)"
+        f" ({report.executions} execution(s) incl. replay+shrink),"
+        f" coverage {len(report.coverage)} key(s),"
+        f" {len(report.corpus_replayed)} corpus entr(ies) replayed"
+    )
+    lines.append(f"fuzz fingerprint: {report.fingerprint()}")
+    _publish(args, f"fuzz_seed{report.seed}", report.as_dict())
+    if not report.passed:
+        for record in report.corpus_failures + report.violations:
+            lines.append(
+                f"violation [{record.signature}] — minimal replayable"
+                f" plan"
+                + (f" (also at {record.corpus_path})"
+                   if record.corpus_path else "")
+                + ":"
+            )
+            lines += ["  " + ln
+                      for ln in record.scenario_text.splitlines()]
+        lines.append("fuzz: FAILED")
+        return "\n".join(lines), 3
+    lines.append("fuzz: no violations")
+    return "\n".join(lines), 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
     """Static analysis + optional dynamic tie-order probe.
 
@@ -564,6 +637,28 @@ def build_parser() -> argparse.ArgumentParser:
                            "before exiting 4")
     add_json_opts(perf)
 
+    fuzz = sub.add_parser(
+        "fuzz", help="coverage-guided scenario fuzzing over the chaos/"
+                     "durability oracle (exit 3 on violation, with the "
+                     "shrunk minimal plan printed)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="session seed: same seed + iterations + corpus"
+                           " replays the whole session bit-identically")
+    fuzz.add_argument("--iterations", type=int, default=20,
+                      help="fuzz iterations after corpus replay")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock cutoff; stops drawing new "
+                           "scenarios once exceeded")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="regression corpus directory: *.plan entries "
+                           "are replayed first, shrunk violations are "
+                           "written back")
+    fuzz.add_argument("--replay", default=None, metavar="PLAN",
+                      help="replay one textual scenario plan file and "
+                           "exit (3 if it still violates)")
+    add_json_opts(fuzz)
+
     lint = sub.add_parser(
         "lint", help="determinism & sim-safety static analysis "
                      "(repro.lint; exit 3 on findings not in the baseline)")
@@ -614,6 +709,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(text)
             if code:
                 return code  # 3 = digest mismatch, 4 = wall regression
+        elif args.command == "fuzz":
+            text, code = _cmd_fuzz(args)
+            print(text)
+            if code:
+                return code  # 3 = violation found / corpus regression
         elif args.command == "lint":
             text, code = _cmd_lint(args)
             print(text)

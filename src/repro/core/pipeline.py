@@ -311,29 +311,39 @@ class DmaPipeline:
         span: Any = None,
     ) -> Generator[Any, Any, None]:
         t0 = self.env.now
+        closing = False
         try:
-            waited = yield from self.doca.transfer(region, seg, thread)
-            if waited > 0:
-                # queueing for the serial channel precedes the service
-                timing.wait_intervals.append((t0, t0 + waited))
-            timing.service_intervals.append((t0 + waited, self.env.now))
-            if self.completion_thread is not None:
-                yield from self.completion_thread.charge(
-                    self.COMPLETION_POLL_CPU
+            try:
+                waited = yield from self.doca.transfer(region, seg, thread)
+                if waited > 0:
+                    # queueing for the serial channel precedes the service
+                    timing.wait_intervals.append((t0, t0 + waited))
+                timing.service_intervals.append((t0 + waited, self.env.now))
+                if self.completion_thread is not None:
+                    yield from self.completion_thread.charge(
+                        self.COMPLETION_POLL_CPU
+                    )
+                if span is not None:
+                    span.finish(self.env.now)
+            except DmaError:
+                self.fallback.record_failure(self.env.now)
+                if span is not None:
+                    span.error(self.env.now, "dma-error")
+                # resend THIS segment over RPC; prior segments preserved
+                yield from self._segment_via_rpc(
+                    seg, thread, timing, span_ctx, retry_of=span,
+                    reason="dma-error",
                 )
-            if span is not None:
-                span.finish(self.env.now)
-        except DmaError:
-            self.fallback.record_failure(self.env.now)
-            if span is not None:
-                span.error(self.env.now, "dma-error")
-            # resend THIS segment over RPC; prior segments are preserved
-            yield from self._segment_via_rpc(
-                seg, thread, timing, span_ctx, retry_of=span,
-                reason="dma-error",
-            )
+        except GeneratorExit:
+            # the owning process was abandoned mid-transfer: a closing
+            # generator may not yield again, but the put below inserts
+            # synchronously, so the buffer is still released
+            closing = True
+            raise
         finally:
-            yield self._buffers.put(region)
+            put_event = self._buffers.put(region)
+            if not closing:
+                yield put_event
 
     def _segment_via_rpc(
         self,
@@ -376,6 +386,7 @@ class DmaPipeline:
                 nbytes=PROBE_BYTES,
             )
         region: MemoryRegion = yield self._buffers.get()
+        closing = False
         try:
             yield from self.doca.transfer(region, PROBE_BYTES, thread)
             self.fallback.record_probe(True, self.env.now)
@@ -385,5 +396,10 @@ class DmaPipeline:
             self.fallback.record_probe(False, self.env.now)
             if probe_span is not None:
                 probe_span.error(self.env.now, "dma-error")
+        except GeneratorExit:
+            closing = True
+            raise
         finally:
-            yield self._buffers.put(region)
+            put_event = self._buffers.put(region)
+            if not closing:
+                yield put_event

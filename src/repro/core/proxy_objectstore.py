@@ -193,9 +193,20 @@ class ProxyObjectStore(ObjectStore):
         if span is not None:
             span.event(self.env.now, "write_buffers_reserved")
         # … stream the payload across …
-        timing: RequestTiming = yield from self.write_pipeline.push(
-            data_len, thread, span_ctx=ctx
-        )
+        try:
+            timing: RequestTiming = yield from self.write_pipeline.push(
+                data_len, thread, span_ctx=ctx
+            )
+        except RpcError as exc:
+            # Bulk transfer failed before the commit RPC was ever sent:
+            # the host never saw this transaction, so it will never free
+            # the reservation — release it here or the pool leaks and
+            # later writes block forever.  Surface the failure as a
+            # StoreError like every other backend error.
+            yield self.server.write_buffers.put(data_len)
+            if span is not None:
+                span.error(self.env.now, "rpc-error")
+            raise _store_error(exc) from None
         # … then commit on the host and wait for durability.
         try:
             resp = yield from self.rpc.call(

@@ -63,6 +63,7 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "LayerInjector",
+    "format_fault_specs",
     "parse_fault_specs",
 ]
 
@@ -181,6 +182,9 @@ class LayerInjector:
         ``kind`` narrows matching for multi-kind layers (RPC); single-
         kind layers pass ``None``.  ``size`` feeds the byte counters.
         """
+        quiesced = self.plan.quiesced_at
+        if quiesced is not None and now >= quiesced:
+            return None
         if self._simple and kind is None:
             spec = self.specs[0]
             if self._rng.random() < spec.probability:
@@ -238,6 +242,21 @@ class FaultPlan:
         self.injected: dict[str, int] = {}
         #: ``"layer.kind"`` → bytes belonging to injected faults.
         self.injected_bytes: dict[str, int] = {}
+        #: once set, per-operation injection after this sim-time is off
+        #: (see :meth:`quiesce`).
+        self.quiesced_at: Optional[float] = None
+
+    def quiesce(self, now: float) -> None:
+        """Stop per-operation injection from ``now`` on.
+
+        Open-ended probabilistic specs have no window; a harness whose
+        oracle promises "after the faults stop, the healed cluster is
+        intact" calls this at the heal boundary, otherwise the
+        verifier's own reads keep being failed and every run ends in a
+        vacuous violation.  Already-scheduled sustained windows (e.g.
+        ``net:partition``) are not cut short — they are bounded by
+        construction."""
+        self.quiesced_at = now
 
     @classmethod
     def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
@@ -328,6 +347,40 @@ class FaultPlan:
             f"<FaultPlan seed={self.seed} specs={len(self.specs)} "
             f"injected={self.total_injected}>"
         )
+
+
+def format_fault_specs(specs: Any) -> str:
+    """Render specs back into the textual plan format (the exact inverse
+    of :func:`parse_fault_specs`): non-default options only, floats via
+    ``repr`` so ``parse(format(specs))`` round-trips to equal specs."""
+
+    def fnum(x: float) -> str:
+        return repr(int(x)) if float(x).is_integer() else repr(float(x))
+
+    chunks: list[str] = []
+    for spec in specs:
+        head = spec.layer
+        if spec.kind != FAULT_KINDS[spec.layer][0]:
+            head = f"{spec.layer}:{spec.kind}"
+        opts: list[str] = []
+        if spec.probability != 1.0:
+            opts.append(f"p={fnum(spec.probability)}")
+        if spec.window is not None:
+            opts.append(
+                f"window={fnum(spec.window[0])}-{fnum(spec.window[1])}"
+            )
+        if spec.nth is not None:
+            opts.append(f"nth={spec.nth}")
+        if spec.burst != 1:
+            opts.append(f"burst={spec.burst}")
+        if spec.delay:
+            opts.append(f"delay={fnum(spec.delay)}")
+        if spec.factor != 8.0:
+            opts.append(f"factor={fnum(spec.factor)}")
+        if spec.nodes is not None:
+            opts.append("nodes=" + "|".join(spec.nodes))
+        chunks.append(",".join([head] + opts))
+    return ";".join(chunks)
 
 
 def parse_fault_specs(text: str) -> list[FaultSpec]:

@@ -1,0 +1,51 @@
+"""Coverage-guided scenario fuzzing over the chaos/durability oracle.
+
+``repro.fuzz`` searches the space of *scenarios* — fault-plan specs
+(dma/rpc/net/storage), seeded chaos crash/partition schedules, and
+workload shape (clients, object size, duration, mode) — for inputs
+that violate the acked-write durability invariant or the no-hang
+latency bound.  The search is coverage-guided: every execution's
+already-emitted signals (trace span categories, fired ``layer.kind``
+fault counters, chaos incident kinds, error/retry spans) feed a
+coverage map, and mutation is biased toward keys never seen.
+
+Everything is seeded: the same ``(seed, iterations, corpus)`` replays
+the entire session bit-identically, and every violation is shrunk to a
+minimal scenario serialized in the textual corpus format (header plus
+the PR-1 FaultPlan line) that replays the failure on its own.
+
+Entry points: :func:`run_fuzz` / :class:`Fuzzer` (the session loop),
+:func:`execute_scenario` (one input → one verdict), and
+``python -m repro fuzz`` on the command line.
+"""
+
+from .coverage import CoverageMap
+from .executor import ScenarioOutcome, execute_scenario, violation_signature
+from .fuzzer import FuzzReport, Fuzzer, ViolationRecord, run_fuzz
+from .generator import TARGET_KEYS, ScenarioGenerator
+from .scenario import (
+    SCENARIO_FORMAT_VERSION,
+    Scenario,
+    scenario_from_text,
+    scenario_to_text,
+)
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "SCENARIO_FORMAT_VERSION",
+    "CoverageMap",
+    "FuzzReport",
+    "Fuzzer",
+    "Scenario",
+    "ScenarioGenerator",
+    "ScenarioOutcome",
+    "ShrinkResult",
+    "TARGET_KEYS",
+    "ViolationRecord",
+    "execute_scenario",
+    "run_fuzz",
+    "scenario_from_text",
+    "scenario_to_text",
+    "shrink",
+    "violation_signature",
+]

@@ -1,0 +1,218 @@
+"""Seeded scenario generation and coverage-directed mutation.
+
+All randomness flows through one :class:`~repro.util.rng.SeededRng`
+stream derived from the fuzzer seed, so the i-th scenario proposed is a
+pure function of ``(seed, accept/reject history)`` — the whole fuzzing
+session replays bit-identically.
+
+Mutation is *coverage-directed*: :meth:`ScenarioGenerator.mutate`
+consults the :class:`~.coverage.CoverageMap` for target keys (the known
+universe of fault ``layer.kind`` combinations, chaos incident kinds and
+deployment modes) that have never been hit, and with high probability
+applies the mutation that specifically aims at one — adding a fault
+spec of the missing kind, raising the missing incident count, or
+flipping the deployment mode.  Once the universe is covered, mutation
+falls back to undirected parameter/seed tweaks, and *parent* rarity
+weighting (see :class:`~.fuzzer.Fuzzer`) keeps pushing toward rare
+schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults import FAULT_KINDS, FaultSpec
+from ..util.rng import SeededRng
+from .coverage import CoverageMap
+from .scenario import Scenario
+
+__all__ = ["ScenarioGenerator", "TARGET_KEYS"]
+
+#: Sizes/durations/pacing the generator draws from — small enough that a
+#: single execution stays in the ~0.3-1.5 s wall-clock range, large
+#: enough to cross segment/stripe boundaries.
+_SIZES = (1 << 18, 1 << 19, 1 << 20)
+_DURATIONS = (1.0, 1.5, 2.0)
+_THINKS = (0.05, 0.1, 0.2)
+_MAX_CLIENTS = 2
+_MAX_CRASHES = 2
+_MAX_PARTITIONS = 1
+_MAX_SPECS = 3
+_SEED_SPACE = 1 << 12
+
+#: The directed-mutation universe: coverage keys the generator knows how
+#: to aim a mutation at.  (The coverage map itself is open — span
+#: categories etc. count as coverage when discovered — but only these
+#: keys have a targeted move.)
+TARGET_KEYS: tuple[str, ...] = tuple(
+    [f"fault.{layer}.{kind}"
+     for layer in sorted(FAULT_KINDS)
+     for kind in FAULT_KINDS[layer]]
+    + ["chaos.crash", "chaos.partition", "mode.baseline", "mode.doceph",
+       "client.op_failed", "span.error", "span.retry"]
+)
+
+#: dma engines and the host<->DPU RPC channel only exist in the DoCeph
+#: deployment; aiming at their fault kinds implies flipping the mode.
+_DOCEPH_ONLY_LAYERS = ("dma", "rpc")
+
+
+class ScenarioGenerator:
+    """Draws random scenarios and coverage-directed mutants."""
+
+    def __init__(self, seed: int = 0, nodes: int = 3) -> None:
+        self.seed = int(seed)
+        self.nodes = nodes
+        self._rng = SeededRng(self.seed).child("fuzz").stream("gen")
+
+    # ------------------------------------------------------------- drawing
+    def random_scenario(self) -> Scenario:
+        """A fresh scenario drawn uniformly over the search space."""
+        rng = self._rng
+        mode = rng.choice(["baseline", "doceph"])
+        specs = tuple(
+            self._random_spec(mode) for _ in range(rng.randrange(3))
+        )
+        return Scenario(
+            mode=mode,
+            clients=rng.randint(1, _MAX_CLIENTS),
+            object_size=rng.choice(_SIZES),
+            duration=rng.choice(_DURATIONS),
+            think_time=rng.choice(_THINKS),
+            crashes=rng.randint(0, _MAX_CRASHES),
+            partitions=rng.randint(0, _MAX_PARTITIONS),
+            chaos_seed=rng.randrange(_SEED_SPACE),
+            fault_seed=rng.randrange(_SEED_SPACE),
+            specs=specs,
+        )
+
+    def _random_spec(
+        self, mode: str, layer: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> FaultSpec:
+        """One fault spec with parameters sized for the layer/kind."""
+        rng = self._rng
+        if layer is None:
+            # storage faults are fail-stop (they abort the run), so they
+            # are drawn rarely; dma/rpc need the DoCeph deployment to
+            # matter but are still legal (inert) in baseline.
+            pool = ["net", "net", "rpc", "dma"]
+            if mode == "doceph":
+                pool += ["rpc", "dma"]
+            pool.append("storage")
+            layer = rng.choice(pool)
+        if kind is None:
+            kind = rng.choice(list(FAULT_KINDS[layer]))
+        p = round(rng.uniform(0.05, 0.4), 3)
+        if layer == "dma":
+            return FaultSpec(layer="dma", kind="error",
+                             probability=round(rng.uniform(0.02, 0.3), 3))
+        if layer == "rpc":
+            if kind == "delay":
+                return FaultSpec(
+                    layer="rpc", kind="delay", probability=p,
+                    delay=round(rng.uniform(0.2, 1.5), 3),
+                )
+            return FaultSpec(layer="rpc", kind=kind, probability=p,
+                             burst=rng.choice([1, 1, 2, 3]))
+        if layer == "net":
+            start = round(rng.uniform(0.5, 2.0), 3)
+            length = round(rng.uniform(1.0, 3.0), 3)
+            if kind == "partition":
+                node = rng.randrange(self.nodes)
+                return FaultSpec(
+                    layer="net", kind="partition",
+                    window=(start, round(start + length, 3)),
+                    nodes=(f"node{node}",),
+                )
+            return FaultSpec(
+                layer="net", kind="degrade",
+                window=(start, round(start + length, 3)),
+                factor=float(rng.choice([2, 4, 8])),
+            )
+        # storage: nth-triggered so it fires (if at all) after real work;
+        # the executor treats the resulting fail-stop abort as coverage.
+        return FaultSpec(layer="storage", kind="error",
+                         nth=rng.randrange(200, 2000))
+
+    # ------------------------------------------------------------- mutation
+    def mutate(self, parent: Scenario, coverage: CoverageMap) -> Scenario:
+        """One mutant of ``parent``, directed toward unexplored keys.
+
+        With probability 0.7 (when any :data:`TARGET_KEYS` entry is
+        uncovered) the mutation explicitly targets one uncovered key;
+        otherwise an undirected tweak is applied.
+        """
+        rng = self._rng
+        unseen = [k for k in TARGET_KEYS if k not in coverage]
+        if unseen and rng.random() < 0.7:
+            return self._directed(parent, rng.choice(unseen))
+        return self._undirected(parent)
+
+    def _directed(self, parent: Scenario, key: str) -> Scenario:
+        rng = self._rng
+        if key.startswith("fault."):
+            _, layer, kind = key.split(".", 2)
+            mode = parent.mode
+            if layer in _DOCEPH_ONLY_LAYERS:
+                mode = "doceph"
+            spec = self._random_spec(mode, layer=layer, kind=kind)
+            specs = parent.specs[-(_MAX_SPECS - 1):] + (spec,)
+            return parent.with_(mode=mode, specs=specs)
+        if key == "chaos.crash":
+            return parent.with_(crashes=max(1, parent.crashes))
+        if key == "chaos.partition":
+            return parent.with_(partitions=max(1, parent.partitions))
+        if key.startswith("mode."):
+            return parent.with_(mode=key.split(".", 1)[1])
+        # client.op_failed / span.error / span.retry: pressure the retry
+        # machinery — heavy reply loss plus at least one crash.
+        spec = FaultSpec(
+            layer="rpc", kind="reply_loss",
+            probability=round(rng.uniform(0.3, 0.7), 3),
+            burst=rng.choice([2, 3]),
+        )
+        specs = parent.specs[-(_MAX_SPECS - 1):] + (spec,)
+        return parent.with_(
+            mode="doceph", crashes=max(1, parent.crashes), specs=specs
+        )
+
+    def _undirected(self, parent: Scenario) -> Scenario:
+        rng = self._rng
+        op = rng.choice([
+            "clients", "size", "duration", "think", "crashes",
+            "partitions", "chaos_seed", "fault_seed", "mode",
+            "add_spec", "drop_spec",
+        ])
+        if op == "clients":
+            return parent.with_(clients=rng.randint(1, _MAX_CLIENTS))
+        if op == "size":
+            return parent.with_(object_size=rng.choice(_SIZES))
+        if op == "duration":
+            return parent.with_(duration=rng.choice(_DURATIONS))
+        if op == "think":
+            return parent.with_(think_time=rng.choice(_THINKS))
+        if op == "crashes":
+            return parent.with_(crashes=rng.randint(0, _MAX_CRASHES))
+        if op == "partitions":
+            return parent.with_(partitions=rng.randint(0, _MAX_PARTITIONS))
+        if op == "chaos_seed":
+            return parent.with_(chaos_seed=rng.randrange(_SEED_SPACE))
+        if op == "fault_seed":
+            return parent.with_(fault_seed=rng.randrange(_SEED_SPACE))
+        if op == "mode":
+            return parent.with_(
+                mode="doceph" if parent.mode == "baseline" else "baseline"
+            )
+        if op == "add_spec":
+            spec = self._random_spec(parent.mode)
+            return parent.with_(
+                specs=parent.specs[-(_MAX_SPECS - 1):] + (spec,)
+            )
+        # drop_spec
+        if not parent.specs:
+            return parent.with_(fault_seed=rng.randrange(_SEED_SPACE))
+        drop = rng.randrange(len(parent.specs))
+        return parent.with_(
+            specs=parent.specs[:drop] + parent.specs[drop + 1:]
+        )

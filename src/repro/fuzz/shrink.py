@@ -1,0 +1,112 @@
+"""Greedy scenario shrinking: every violation must replay minimally.
+
+The shrinker walks a fixed, deterministic pass order — fault-spec
+deletion, incident deletion, then parameter halving — re-running the
+candidate through the caller-supplied predicate at each step and
+keeping any reduction that still reproduces the violation (same
+signature, as judged by the predicate).  Passes repeat until a whole
+sweep makes no progress (a local 1-minimum) or the execution budget is
+exhausted, so the result is the smallest scenario this greedy order can
+reach — typically a single fault spec and/or a single incident at the
+minimum workload shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .scenario import Scenario
+
+__all__ = ["ShrinkResult", "shrink"]
+
+_MIN_OBJECT_SIZE = 1 << 16
+_MIN_DURATION = 0.5
+
+
+class ShrinkResult:
+    """The minimal scenario plus how much work finding it took."""
+
+    __slots__ = ("scenario", "executions", "budget_exhausted")
+
+    def __init__(
+        self, scenario: Scenario, executions: int, budget_exhausted: bool
+    ) -> None:
+        self.scenario = scenario
+        self.executions = executions
+        self.budget_exhausted = budget_exhausted
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShrinkResult {self.scenario!r} after "
+            f"{self.executions} executions>"
+        )
+
+
+def shrink(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    max_executions: int = 80,
+) -> ShrinkResult:
+    """Greedy-shrink ``scenario`` while ``still_fails`` holds.
+
+    ``still_fails`` must re-execute the candidate and return ``True``
+    iff the original violation (same signature) reproduces.  The input
+    scenario is assumed failing; it is returned unchanged if nothing
+    smaller reproduces.
+    """
+    current = scenario
+    executions = 0
+
+    def attempt(candidate: Scenario) -> bool:
+        nonlocal current, executions
+        if executions >= max_executions or candidate == current:
+            return False
+        executions += 1
+        if still_fails(candidate):
+            current = candidate
+            return True
+        return False
+
+    progress = True
+    while progress and executions < max_executions:
+        progress = False
+
+        # 1. greedy spec deletion, last-declared first (later specs are
+        #    usually the mutation that got piled on top)
+        index = len(current.specs) - 1
+        while index >= 0:
+            specs = current.specs[:index] + current.specs[index + 1:]
+            if attempt(current.with_(specs=specs)):
+                progress = True
+            index -= 1
+
+        # 2. incident deletion: drop whole classes first, then decrement
+        for field_name in ("partitions", "crashes"):
+            if getattr(current, field_name) > 0:
+                if attempt(current.with_(**{field_name: 0})):
+                    progress = True
+            while getattr(current, field_name) > 0:
+                fewer = getattr(current, field_name) - 1
+                if not attempt(current.with_(**{field_name: fewer})):
+                    break
+                progress = True
+
+        # 3. parameter halving toward the floor
+        while current.clients > 1:
+            if not attempt(
+                current.with_(clients=max(1, current.clients // 2))
+            ):
+                break
+            progress = True
+        while current.object_size > _MIN_OBJECT_SIZE:
+            smaller = max(_MIN_OBJECT_SIZE, current.object_size // 2)
+            if not attempt(current.with_(object_size=smaller)):
+                break
+            progress = True
+        while current.duration > _MIN_DURATION:
+            shorter = max(_MIN_DURATION, round(current.duration / 2, 3))
+            if not attempt(current.with_(duration=shorter)):
+                break
+            progress = True
+
+    return ShrinkResult(current, executions, executions >= max_executions)

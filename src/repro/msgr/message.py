@@ -408,30 +408,43 @@ class MMonMapReply(Message):
 @dataclass
 class MOSDPGPull(Message):
     """Recovery: a (re)joining acting-set member asks the primary to
-    push the PG's objects."""
+    push the PG's objects.  ``have`` lists the object names the puller
+    already holds so the pusher streams only the delta (a restarting
+    member typically misses a handful of interim writes, not the PG)."""
 
     TYPE: ClassVar[MessageType] = MessageType.PG_PULL
 
     pool: str = ""
     pg_seed: int = 0
     map_epoch: int = 0
+    have: tuple = ()
 
     def _encode_front(self, bl: BufferList) -> None:
         bl.encode_str(self.pool)
         bl.encode_u32(self.pg_seed)
         bl.encode_u32(self.map_epoch)
+        bl.encode_u32(len(self.have))
+        for name in self.have:
+            bl.encode_str(name)
 
     @classmethod
     def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDPGPull":
-        return cls(src=src, tid=tid, pool=d.decode_str(),
-                   pg_seed=d.decode_u32(), map_epoch=d.decode_u32())
+        pool = d.decode_str()
+        pg_seed = d.decode_u32()
+        map_epoch = d.decode_u32()
+        have = tuple(d.decode_str() for _ in range(d.decode_u32()))
+        return cls(src=src, tid=tid, pool=pool, pg_seed=pg_seed,
+                   map_epoch=map_epoch, have=have)
 
 
 @_register
 @dataclass
 class MOSDPGPush(Message):
     """Recovery: primary pushes one object of a PG to a member.
-    ``last`` marks the final push of the recovery round."""
+    ``last`` marks the final push of the recovery round; it carries
+    ``skipped``, the names the pusher holds but did not stream because
+    the pull declared them in ``have`` (the puller needs the full set
+    the source knows to compute what to push back)."""
 
     TYPE: ClassVar[MessageType] = MessageType.PG_PUSH
 
@@ -441,6 +454,7 @@ class MOSDPGPush(Message):
     length: int = 0
     data: Optional[DataBlob] = None
     last: bool = False
+    skipped: tuple = ()
 
     def _encode_front(self, bl: BufferList) -> None:
         bl.encode_str(self.pool)
@@ -448,6 +462,9 @@ class MOSDPGPush(Message):
         bl.encode_str(self.object_name)
         bl.encode_u64(self.length)
         bl.encode_bool(self.last)
+        bl.encode_u32(len(self.skipped))
+        for name in self.skipped:
+            bl.encode_str(name)
         bl.encode_bool(self.data is not None)
 
     def _encode_data(self, bl: BufferList) -> None:
@@ -461,10 +478,11 @@ class MOSDPGPush(Message):
         object_name = d.decode_str()
         length = d.decode_u64()
         last = d.decode_bool()
+        skipped = tuple(d.decode_str() for _ in range(d.decode_u32()))
         data = d.decode_blob() if d.decode_bool() else None
         return cls(src=src, tid=tid, pool=pool, pg_seed=pg_seed,
                    object_name=object_name, length=length, data=data,
-                   last=last)
+                   last=last, skipped=skipped)
 
     @property
     def data_len(self) -> int:

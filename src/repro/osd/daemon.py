@@ -91,13 +91,19 @@ class OsdConfig:
 class _InFlightWrite:
     """Tracks one client write until commit + all replica acks."""
 
-    __slots__ = ("ack_events", "_next")
+    __slots__ = ("ack_events", "_next", "failed")
 
     def __init__(self, needed_acks: int, env: Any) -> None:
         self.ack_events: list[Event] = [env.event() for _ in range(needed_acks)]
         self._next = 0
+        #: a replica reported it could not persist the sub-op: the op
+        #: must fail to the client (acking a write that some replica
+        #: does not hold silently breaks durability)
+        self.failed = False
 
-    def ack(self) -> None:
+    def ack(self, ok: bool = True) -> None:
+        if not ok:
+            self.failed = True
         self.ack_events[self._next].succeed()
         self._next += 1
 
@@ -222,6 +228,7 @@ class OsdDaemon:
                 pg = PlacementGroup(pgid, acting, self.osd_id)
                 self.pgs[pgid] = pg
                 self.member_pgs.add(pgid)
+                self.osdmap.record_pg_holder(pgid, self.osd_id, full=True)
                 txn.create_collection(pg.collection)
         if txn.num_ops:
             yield from self.store.queue_transaction(txn, self._op_threads[0])
@@ -345,6 +352,12 @@ class OsdDaemon:
             return
         self.restarts += 1
         yield from self._resync_store()
+        # Rebuild in-memory PG state for the copies the resync kept
+        # (crash() cleared ``pgs``; a survivor-free or equal-generation
+        # copy stays a member and must serve again without a re-pull).
+        for pgid in sorted(self.member_pgs,
+                           key=lambda p: (p.pool, p.seed)):
+            self.refresh_pg(pgid)
         self._down_handled = True
         self._op_procs = [
             self.env.process(self._op_loop(t), name=f"{self.name}.tp_osd_tp-{i}")
@@ -362,17 +375,36 @@ class OsdDaemon:
             self.start_mon_beacon(*self._beacon_cfg)
 
     def _resync_store(self) -> Generator[Any, Any, None]:
-        """Discard local copies of PGs that other up OSDs now serve.
+        """Discard local copies of PGs another *full* holder now serves.
 
-        Our copy may miss writes acked while we were gone; the acting
-        set's copy is authoritative, and recovery will re-pull the whole
-        PG.  A PG whose acting set is empty (or just us) keeps its data —
-        we are its only surviving holder."""
+        Our copy may miss writes acked while we were gone; a surviving
+        full holder's copy is authoritative, and recovery will re-pull
+        the PG from it.  A survivor only qualifies if its content
+        generation is *strictly above* ours: any write acked during our
+        absence necessarily bumped the generation (we were a registered
+        full holder outside the acting set), so equal generations prove
+        our copy missed nothing and discarding it would only force a
+        pointless full re-stream.  A survivor *below* ours means our
+        copy holds acked writes the survivor never received (we took
+        them while it was down), and discarding against it would
+        destroy their last copy.  If no up OSD qualifies — the others
+        are down too, at or behind our generation, or only interim
+        (partial) holders accepted writes while everyone was out — we
+        keep our data and our membership: recovery merges the divergent
+        copies instead."""
         thread = self._completion_thread
         for pgid in sorted(self.member_pgs,
                            key=lambda p: (p.pool, p.seed)):
             acting = self.osdmap.pg_to_osds(pgid)
             if not any(o != self.osd_id for o in acting):
+                continue
+            my_gen = self.osdmap.holder_gen(pgid, self.osd_id)
+            survivors = [
+                o for o in self.osdmap.full_holders_of(pgid)
+                if o != self.osd_id and self.osdmap.is_up(o)
+                and self.osdmap.holder_gen(pgid, o) > my_gen
+            ]
+            if not survivors:
                 continue
             coll = str(pgid)
             try:
@@ -390,6 +422,9 @@ class OsdDaemon:
                 self.objects_discarded += len(names)
             self.member_pgs.discard(pgid)
             self.pgs.pop(pgid, None)
+            self.osdmap.drop_pg_holder(pgid, self.osd_id)
+            if self.recovery is not None:
+                self.recovery.forget_pg(pgid)
 
     def enable_op_tracking(self, history_size: int = 256) -> OpTracker:
         """Turn on per-op stage tracing (Ceph's dump_historic_ops)."""
@@ -451,7 +486,7 @@ class OsdDaemon:
         elif isinstance(msg, MOSDRepOpReply):
             inflight = self._inflight.get(msg.tid)
             if inflight is not None:
-                inflight.ack()
+                inflight.ack(ok=msg.result == 0)
             _release(msg)
         elif isinstance(msg, MOSDPing):
             if self.heartbeat is not None:
@@ -544,10 +579,40 @@ class OsdDaemon:
         assert msg.data is not None, "WRITE op without payload"
 
         txn = Transaction()
+        # Writes some registered full holder will miss bump the PG's
+        # content generation: copies without them are stale and must
+        # not serve as discard survivors or settle as clean.  The
+        # acting set is *credited* at the new generation only on ack
+        # (``gen_credit`` applied in :meth:`_commit_and_reply`):
+        # registering at entry would let a concurrent recovery pull
+        # capture the generation before the data is readable in the
+        # store, handing the puller a "full" copy that silently lacks
+        # this write.
+        gen_credit: list[tuple[int, bool | None, int]] = []
         if pgid not in self.member_pgs:
             # remapped PG whose backfill hasn't started yet: create the
-            # collection so fresh writes land (recovery pulls the rest)
+            # collection so fresh writes land (recovery pulls the rest),
+            # and register as a partial holder so these acked writes are
+            # merged back once the full holders return.  The replicas
+            # persist this write too (repop below), so credit them at
+            # the same generation — leaving them behind would send
+            # every acting member on a pointless catch-up pull per
+            # write.
             txn.create_collection(pg.collection)
+            interim_gen = self.osdmap.bump_pg_gen(pgid)
+            gen_credit.append((self.osd_id, False, interim_gen))
+            for replica in pg.replicas:
+                gen_credit.append((replica, None, interim_gen))
+        else:
+            full_holders = self.osdmap.full_holders_of(pgid)
+            if any(o not in pg.acting for o in full_holders):
+                # degraded write: a registered full holder is down and
+                # will miss it — the absent holder's copy must not later
+                # justify discarding the only copies of this write.
+                gen = self.osdmap.bump_pg_gen(pgid)
+                gen_credit.append((self.osd_id, None, gen))
+                for replica in pg.replicas:
+                    gen_credit.append((replica, None, gen))
         txn.write(
             pg.collection, msg.object_name, msg.offset, msg.length, msg.data
         )
@@ -583,7 +648,8 @@ class OsdDaemon:
         self.client_ops += 1
         self.bytes_written += msg.length
         self.env.process(
-            self._commit_and_reply(msg, txn, inflight, repop_tid),
+            self._commit_and_reply(msg, txn, inflight, repop_tid,
+                                   pgid, gen_credit),
             name=f"{self.name}.commit.{msg.tid}",
         )
 
@@ -593,6 +659,8 @@ class OsdDaemon:
         txn: Transaction,
         inflight: _InFlightWrite,
         repop_tid: int,
+        pgid: Optional[PgId] = None,
+        gen_credit: Optional[list] = None,
     ) -> Generator[Any, Any, None]:
         thread = self._completion_thread
         inc = self.incarnation
@@ -606,6 +674,8 @@ class OsdDaemon:
             yield AllOf(self.env, [local, *inflight.ack_events])
         except StoreError:
             result = -22  # -EINVAL
+        if inflight.failed:
+            result = -22  # a replica could not persist: fail, never ack
         op_span = getattr(msg, "op_span", None)
         if self.incarnation != inc or not self.alive:
             # the daemon died while this write was in flight: never ack
@@ -616,6 +686,14 @@ class OsdDaemon:
             return
         _mark(msg, self.env.now, "commit_received")
         self._inflight.pop(repop_tid, None)
+        if result == 0 and gen_credit:
+            # the write is durable everywhere it was sent: only now may
+            # the acting set's content generations reflect it (a pull
+            # capturing the gen earlier would miss the not-yet-readable
+            # data and still count as complete)
+            for holder, full, gen in gen_credit:
+                self.osdmap.record_pg_holder(pgid, holder, full=full,
+                                             gen=gen)
         yield from thread.charge(self.config.reply_cpu)
         reply = MOSDOpReply(
             tid=msg.tid, result=result, version=self.osdmap.epoch
@@ -662,6 +740,10 @@ class OsdDaemon:
             reply = MOSDOpReply(tid=msg.tid, result=0, data=blob)
         except NoSuchObject:
             reply = MOSDOpReply(tid=msg.tid, result=-2)  # -ENOENT
+        except StoreError:
+            # Backend failure that isn't fail-stop (e.g. a proxied
+            # store's RPC timing out): error the op, don't kill the OSD.
+            reply = MOSDOpReply(tid=msg.tid, result=-5)  # -EIO
         if self.incarnation != inc or not self.alive:
             if op_span is not None:
                 op_span.error(self.env.now, "osd-crashed")
@@ -698,6 +780,8 @@ class OsdDaemon:
                 reply.attachment = st
             except NoSuchObject:
                 reply = MOSDOpReply(tid=msg.tid, result=-2)
+            except StoreError:
+                reply = MOSDOpReply(tid=msg.tid, result=-5)  # -EIO
             if self.incarnation != inc or not self.alive:
                 if op_span is not None:
                     op_span.error(self.env.now, "osd-crashed")
@@ -766,6 +850,10 @@ class OsdDaemon:
         txn = Transaction()
         if pgid not in self.member_pgs:
             txn.create_collection(pg.collection)
+            self.osdmap.record_pg_holder(
+                pgid, self.osd_id, full=False,
+                gen=self.osdmap.bump_pg_gen(pgid),
+            )
         if msg.data is not None:
             txn.write(
                 pg.collection, msg.object_name, msg.offset, msg.length, msg.data

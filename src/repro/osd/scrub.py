@@ -140,6 +140,8 @@ class ScrubManager:
                 st = yield from osd.store.stat(coll, name, thread)
             except NoSuchObject:
                 continue
+            except StoreError:
+                return None  # backend unreachable: skip this scrub
             digests[name] = _digest(name, st.version)
         return digests
 

@@ -13,7 +13,9 @@ operation — writes resend the same payload blob, so resends are
 idempotent.  After ``max_attempts`` the op fails with ``-ETIMEDOUT``
 (-110) instead of hanging.  With ``op_timeout=None`` (default) the
 original wait-forever behavior — and its exact event sequence — is
-preserved.
+preserved for in-flight replies; an op that finds *no acting set* (every
+serving OSD down) backs off and waits for the map to heal in both modes,
+bounded only by ``max_attempts``.
 """
 
 from __future__ import annotations
@@ -234,9 +236,11 @@ class RadosClient:
             try:
                 primary = self.osdmap.pg_primary(pgid)
             except ValueError:
-                # no up OSD serves this PG right now; wait for the map
-                # to heal and retry (bounded like any other attempt)
-                if self.op_timeout is None or attempt >= self.max_attempts:
+                # No up OSD serves this PG right now; wait for the map
+                # to heal and retry.  This holds for the timeout-less
+                # client too (its contract is to wait, not to error) —
+                # the only bound either way is max_attempts.
+                if attempt >= self.max_attempts:
                     self.ops_failed += 1
                     if root_span is not None:
                         root_span.error(self.env.now, "no-acting-set")

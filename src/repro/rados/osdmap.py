@@ -53,6 +53,25 @@ class OsdMap:
     _acting_cache: dict = field(default_factory=dict, repr=False,
                                 compare=False)
     _acting_epoch: int = field(default=-1, repr=False, compare=False)
+    #: PG → {osd_id: (holds_full_copy, content_gen)}.  The
+    #: monitor-tracked record of which OSDs hold a PG's data (Ceph's pg
+    #: map / past-intervals role reduced to the questions recovery
+    #: needs: who may I pull from, who is behind, and is it safe to
+    #: discard my copy?).  A *full* holder has the complete object set
+    #: as of its last clean membership; a *partial* holder accepted
+    #: writes for a PG it never recovered (an interim primary serving
+    #: while the full holders were down).  ``content_gen`` is the PG's
+    #: content generation the holder's copy reflects: writes that some
+    #: registered full holder did not receive bump the generation
+    #: (:meth:`bump_pg_gen`), so a holder with a lower generation than a
+    #: peer is known to miss acked writes — it must merge before it may
+    #: serve as a discard survivor, and members pull whenever a peer's
+    #: generation exceeds theirs.  Holder changes never bump the epoch —
+    #: placement does not depend on them.
+    pg_holders: dict = field(default_factory=dict, repr=False,
+                             compare=False)
+    #: PG → highest content generation ever issued (monotonic).
+    pg_gens: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- membership ------------------------------------------------------------
     def add_osd(self, osd_id: int, address: str) -> None:
@@ -132,6 +151,72 @@ class OsdMap:
             self._acting_cache[pgid] = cached
         # a fresh list per call: callers may slice or mutate their copy
         return list(cached)
+
+    # -- data holders -------------------------------------------------------------
+    def record_pg_holder(
+        self,
+        pgid: PgId,
+        osd_id: int,
+        full: bool | None = True,
+        gen: int | None = None,
+    ) -> None:
+        """Register ``osd_id`` as holding data for ``pgid``.
+
+        ``full=False`` marks a partial holder (it accepted some writes
+        but never recovered the whole PG); registering full never
+        downgrades to partial, and ``full=None`` keeps the current
+        flag.  ``gen`` raises the holder's content generation (never
+        lowers it); ``None`` keeps the current generation (0 for a new
+        entry)."""
+        holders = self.pg_holders.setdefault(pgid, {})
+        old_full, old_gen = holders.get(osd_id, (False, 0))
+        if full is None:
+            full = old_full
+        holders[osd_id] = (
+            full or old_full,
+            old_gen if gen is None else max(gen, old_gen),
+        )
+
+    def drop_pg_holder(self, pgid: PgId, osd_id: int) -> None:
+        """Forget ``osd_id``'s copy (it was discarded or merged away)."""
+        holders = self.pg_holders.get(pgid)
+        if holders is not None:
+            holders.pop(osd_id, None)
+
+    def bump_pg_gen(self, pgid: PgId) -> int:
+        """Allocate the next content generation for ``pgid``.
+
+        Called for a write that some registered full holder will not
+        receive (an interim write on a non-member, or a degraded write
+        while a full holder is down): copies without it are stale from
+        now on."""
+        gen = self.pg_gens.get(pgid, 0) + 1
+        self.pg_gens[pgid] = gen
+        return gen
+
+    def pg_gen(self, pgid: PgId) -> int:
+        """Highest content generation ever issued for ``pgid``."""
+        return self.pg_gens.get(pgid, 0)
+
+    def holder_gen(self, pgid: PgId, osd_id: int) -> int:
+        """The content generation ``osd_id``'s copy reflects (0 if
+        unregistered)."""
+        entry = self.pg_holders.get(pgid, {}).get(osd_id)
+        return entry[1] if entry is not None else 0
+
+    def holders_of(self, pgid: PgId) -> list[int]:
+        """Every OSD believed to hold data for ``pgid`` (sorted)."""
+        return sorted(self.pg_holders.get(pgid, {}))
+
+    def full_holders_of(self, pgid: PgId) -> list[int]:
+        """Holders with a complete copy (sorted)."""
+        holders = self.pg_holders.get(pgid, {})
+        return sorted(o for o, (full, _gen) in holders.items() if full)
+
+    def partial_holders_of(self, pgid: PgId) -> list[int]:
+        """Interim holders with only the writes they accepted (sorted)."""
+        holders = self.pg_holders.get(pgid, {})
+        return sorted(o for o, (full, _gen) in holders.items() if not full)
 
     def pg_primary(self, pgid: PgId) -> int:
         """The primary OSD of a PG (first in the acting set)."""

@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro.chaos import (
     ChaosController,
+    ChaosIncident,
     DurabilityChecker,
     chaos_profile,
     run_chaos,
@@ -22,7 +23,7 @@ from repro.cluster import BENCH_POOL, build_baseline_cluster
 from repro.msgr import MOSDBeacon
 from repro.msgr.message import MOSDOpReply
 from repro.osd.daemon import OsdDaemon
-from repro.rados import OsdState
+from repro.rados import OsdState, RadosError
 from repro.sim import Environment
 from repro.util.bufferlist import DataBlob
 
@@ -340,6 +341,97 @@ def test_chaos_doceph_mode():
     rep = run_chaos(mode="doceph", seed=SEED, duration=2.0, clients=1,
                     crashes=1, partitions=0)
     assert rep.writes_acked > 0
+    assert rep.violations == []
+    assert rep.settle_timeouts == 0
+
+
+# --------------------------------------------------------- regressions
+
+
+def test_verify_counts_only_clean_objects():
+    """objects_verified must not be inflated by objects that violated:
+    a ghost record (acked but never written) adds violations, not a
+    verified count."""
+    env, c = make_cluster()
+    written = write_objects(env, c, ["real-0", "real-1"])
+    checker = DurabilityChecker(c)
+    for name, (blob, res) in written.items():
+        checker.record(name, 1 << 16, blob, res.version, env.now)
+    checker.record("ghost", 1 << 16, DataBlob(1 << 16), 1, env.now)
+    v = env.process(checker.verify(c.client))
+    env.run(until=v)
+    assert any("ghost" in violation for violation in checker.violations)
+    assert checker.objects_verified == 2  # the ghost never counts
+
+
+def test_recovery_sample_only_on_clean_settle():
+    """A timed-out settle is not a recovery sample; only a settle that
+    actually reached clean appends to recovery_to_clean."""
+    env, c = make_cluster()
+    controller = ChaosController(c, crashes=0, partitions=0)
+    incident = ChaosIncident(
+        kind="crash", target=0, duration=0.1, gap=0.1
+    )
+
+    def fake_wait(result):
+        def gen():
+            yield env.timeout(0.0)
+            return result
+        return gen
+
+    controller.wait_all_clean = fake_wait(False)
+    p = env.process(controller._run_crash(incident))
+    env.run(until=p)
+    assert controller.recovery_to_clean == []
+
+    controller.wait_all_clean = fake_wait(True)
+    p = env.process(controller._run_crash(incident))
+    env.run(until=p)
+    assert len(controller.recovery_to_clean) == 1
+
+
+def test_no_acting_set_bounded_without_op_timeout():
+    """With op_timeout=None an op that finds no acting set must still
+    fail after max_attempts instead of waiting forever."""
+    env, c = make_cluster()
+    client = c.client
+    client.op_timeout = None  # the timeout-less client must not hang
+    client.max_attempts = 3
+    # monitor-side view: every OSD down → pg_primary raises
+    for osd in c.osds:
+        osd.crash()
+        c.osdmap.mark_down(osd.osd_id)
+
+    def work():
+        with pytest.raises(RadosError) as exc_info:
+            yield from client.stat_object(BENCH_POOL, "whatever")
+        return exc_info.value
+
+    p = env.process(work())
+    env.run(until=p)
+    assert p.value.result == -110
+    assert "no acting set" in str(p.value)
+
+
+def test_regression_partial_holder_upgrade_race():
+    """The shrunk fuzz scenario that exposed the data-loss chain:
+    interleaved crashes + a partition made an OSD promote itself to a
+    full holder before the restarted peer merged interim writes back,
+    and a later resync discarded the only copy.  Must now verify clean
+    (see corpus/crash-missing_replica-missing-*.plan)."""
+    from repro.faults import FaultPlan, parse_fault_specs
+
+    rep = run_chaos(
+        mode="baseline", seed=392, duration=0.5, clients=2,
+        object_size=65536, crashes=2, partitions=0,
+        fault_plan=FaultPlan(
+            seed=2030,
+            specs=parse_fault_specs(
+                "net:partition,window=1.935-4.683,nodes=node1"
+            ),
+        ),
+        think_time=0.2,
+    )
     assert rep.violations == []
     assert rep.settle_timeouts == 0
 

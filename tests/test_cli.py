@@ -169,3 +169,72 @@ def test_lint_list_rules(capsys):
     for rule_code in ("DET101", "DET106", "SIM201", "SIM202",
                       "PERF301", "PERF302"):
         assert rule_code in out
+
+
+def test_fuzz_replay_pass_and_violation_exit_codes(
+    capsys, tmp_path, monkeypatch
+):
+    from repro.fuzz import Scenario, scenario_to_text
+    from repro.fuzz.executor import ScenarioOutcome
+
+    plan = tmp_path / "quiet.plan"
+    plan.write_text(scenario_to_text(Scenario(duration=0.5)))
+    assert main(["fuzz", "--replay", str(plan), "--no-json"]) == 0
+    out = capsys.readouterr().out
+    assert "replay: pass" in out
+
+    def fake_execute(scenario, tracer_seed=0):
+        return ScenarioOutcome(
+            scenario=scenario,
+            violations=("obj-1: acked write missing (stat result -2)",),
+            coverage=frozenset({"mode.baseline"}),
+            fingerprint="x",
+            aborted="",
+        )
+
+    monkeypatch.setattr("repro.fuzz.execute_scenario", fake_execute)
+    assert main(["fuzz", "--replay", str(plan), "--no-json"]) == 3
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out and "[missing]" in out
+
+
+def test_fuzz_replay_bad_plan_exits_two(capsys, tmp_path):
+    bad = tmp_path / "bad.plan"
+    bad.write_text("mode=warp9\n")
+    assert main(["fuzz", "--replay", str(bad), "--no-json"]) == 2
+    assert main(["fuzz", "--replay", str(tmp_path / "absent.plan"),
+                 "--no-json"]) == 2
+
+
+def test_fuzz_session_writes_json_and_prints_fingerprint(
+    capsys, tmp_path, monkeypatch
+):
+    import json
+
+    from repro.fuzz.executor import ScenarioOutcome
+
+    def fake_execute(scenario, tracer_seed=0):
+        return ScenarioOutcome(
+            scenario=scenario,
+            violations=(),
+            coverage=frozenset({f"mode.{scenario.mode}"}),
+            fingerprint="x",
+            aborted="",
+            writes_acked=1,
+        )
+
+    monkeypatch.setattr("repro.fuzz.executor.execute_scenario",
+                        fake_execute)
+    monkeypatch.setattr("repro.fuzz.fuzzer.execute_scenario",
+                        fake_execute)
+    code = main(["fuzz", "--seed", "4", "--iterations", "3",
+                 "--json-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fuzz fingerprint:" in out
+    assert "no violations" in out
+    payload = json.loads(
+        (tmp_path / "BENCH_fuzz_seed4.json").read_text()
+    )
+    assert payload["passed"] is True
+    assert payload["iterations_run"] == 3
