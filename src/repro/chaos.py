@@ -50,6 +50,7 @@ __all__ = [
     "ChaosReport",
     "DurabilityChecker",
     "chaos_profile",
+    "collect_wire_incidents",
     "run_chaos",
 ]
 
@@ -385,6 +386,9 @@ class ChaosReport:
     latency_bound: float
     acked_objects: dict[str, tuple[int, int]] = field(default_factory=dict)
     health: Optional[dict[str, Any]] = None
+    #: aggregated messenger wire-integrity counters (crc_rejected,
+    #: dup_suppressed, retransmit, reset, ...) across every endpoint
+    wire_incidents: dict[str, int] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -420,6 +424,7 @@ class ChaosReport:
                 )
             },
             "health": self.health,
+            "wire_incidents": dict(sorted(self.wire_incidents.items())),
         }
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -442,7 +447,22 @@ class ChaosReport:
             "latency_bound": self.latency_bound,
             "fingerprint": self.fingerprint(),
             "health": self.health,
+            "wire_incidents": dict(sorted(self.wire_incidents.items())),
         }
+
+
+def collect_wire_incidents(cluster: Cluster) -> dict[str, int]:
+    """Sum every endpoint messenger's ``wire_stats`` counters."""
+    totals: dict[str, int] = {}
+    messengers = [osd.messenger for osd in cluster.osds]
+    if cluster.mon is not None:
+        messengers.append(cluster.mon.messenger)
+    if cluster.client is not None:
+        messengers.append(cluster.client.messenger)
+    for msgr in messengers:
+        for key, count in msgr.wire_stats.items():
+            totals[key] = totals.get(key, 0) + count
+    return totals
 
 
 def chaos_profile(mode: str = "baseline", **overrides: Any) -> HardwareProfile:
@@ -595,4 +615,5 @@ def run_chaos(
             for oid, rec in checker.acked.items()
         },
         health=health,
+        wire_incidents=collect_wire_incidents(cluster),
     )

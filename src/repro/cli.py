@@ -432,6 +432,51 @@ def _cmd_fuzz(args: argparse.Namespace) -> tuple[str, int]:
         lines.append("replay: pass")
         return "\n".join(lines), 0
 
+    if args.soak:
+        from .fuzz import run_soak
+
+        log_lines = []
+        soak = run_soak(
+            base_seed=args.seed,
+            time_budget=(
+                args.time_budget if args.time_budget is not None else 60.0
+            ),
+            state_path=args.soak_state,
+            corpus_dir=args.corpus,
+            iterations=args.iterations if args.iterations else 1_000_000,
+            log=log_lines.append,
+        )
+        report = soak.report
+        lines = list(log_lines)
+        lines.append(
+            f"soak: session {soak.session_index}"
+            f" (seed {soak.session_seed}),"
+            f" {report.iterations_run} iteration(s),"
+            f" +{soak.new_keys} new coverage key(s)"
+            f" ({len(report.coverage)} total),"
+            f" {soak.total_iterations} iteration(s)"
+            f" / {soak.total_executions} execution(s) accumulated over"
+            f" {soak.total_sessions} session(s)"
+        )
+        lines.append(f"fuzz fingerprint: {report.fingerprint()}")
+        lines.append(f"soak state: {soak.state_path}")
+        _publish(args, "fuzz_soak", soak.as_dict())
+        if not soak.passed:
+            for record in report.corpus_failures + report.violations:
+                lines.append(
+                    f"violation [{record.signature}] — minimal replayable"
+                    f" plan"
+                    + (f" (also at {record.corpus_path})"
+                       if record.corpus_path else "")
+                    + ":"
+                )
+                lines += ["  " + ln
+                          for ln in record.scenario_text.splitlines()]
+            lines.append("fuzz soak: FAILED")
+            return "\n".join(lines), 3
+        lines.append("fuzz soak: no violations")
+        return "\n".join(lines), 0
+
     log_lines: list[str] = []
     report = run_fuzz(
         seed=args.seed,
@@ -657,6 +702,15 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", default=None, metavar="PLAN",
                       help="replay one textual scenario plan file and "
                            "exit (3 if it still violates)")
+    fuzz.add_argument("--soak", action="store_true",
+                      help="long-horizon mode: one time-budgeted session "
+                           "with a fresh per-session seed, resuming "
+                           "coverage/queue/signatures from --soak-state "
+                           "(default budget 60s when --time-budget unset)")
+    fuzz.add_argument("--soak-state", default="fuzz_soak_state.json",
+                      metavar="FILE",
+                      help="soak checkpoint path (coverage, mutation "
+                           "queue, shrunk signatures, session history)")
     add_json_opts(fuzz)
 
     lint = sub.add_parser(

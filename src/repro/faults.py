@@ -28,12 +28,19 @@ rpc       ``request_loss``, ``reply_loss``,        request/reply vanishes (the
           ``delay``                                caller's timeout + retry
                                                    machinery recovers); delay
                                                    adds ``delay`` seconds
-net       ``degrade``, ``partition``               degrade: chunk serialization
-                                                   slowed by ``factor``×;
-                                                   partition: every delivery
+net       ``degrade``, ``partition``,              degrade: chunk serialization
+          ``corrupt``, ``dup``, ``reorder``,       slowed by ``factor``×;
+          ``truncate``, ``jitter``                 partition: every delivery
                                                    crossing the ``nodes``
                                                    boundary during ``window``
-                                                   is dropped
+                                                   is dropped; the remaining
+                                                   kinds drive the wire
+                                                   adversary
+                                                   (``repro.msgr.adversary``):
+                                                   frame corruption,
+                                                   duplication, bounded
+                                                   reordering, truncation and
+                                                   delivery delay-jitter
 storage   ``error``                                I/O raises ``StorageError``
 ========  =======================================  ==========================
 
@@ -58,6 +65,7 @@ from typing import Any, Optional
 from .util.rng import SeededRng
 
 __all__ = [
+    "ADVERSARY_KINDS",
     "FAULT_LAYERS",
     "FAULT_KINDS",
     "FaultSpec",
@@ -70,13 +78,21 @@ __all__ = [
 #: Hardware layers a spec may target.
 FAULT_LAYERS = ("dma", "rpc", "net", "storage")
 
+#: ``net`` kinds handled by the per-messenger wire adversary
+#: (:mod:`repro.msgr.adversary`) rather than the NIC pipes or fabric.
+ADVERSARY_KINDS = ("corrupt", "dup", "reorder", "truncate", "jitter")
+
 #: Valid fault kinds per layer (first entry is the layer's default).
 FAULT_KINDS = {
     "dma": ("error",),
     "rpc": ("request_loss", "reply_loss", "delay"),
-    "net": ("degrade", "partition"),
+    "net": ("degrade", "partition") + ADVERSARY_KINDS,
     "storage": ("error",),
 }
+
+#: ``net`` kinds that must never reach the chunk-granular pipe
+#: injectors: partitions are topology-level, adversary kinds frame-level.
+_PIPE_EXCLUDED = frozenset(("partition",) + ADVERSARY_KINDS)
 
 
 @dataclass(frozen=True)
@@ -271,16 +287,39 @@ class FaultPlan:
         key = (layer, scope)
         inj = self._injectors.get(key)
         if inj is None:
-            # partitions are topology-level (Network), not per-NIC; keep
-            # them out of the chunk-granular pipe injectors
+            # partitions are topology-level (Network) and adversary kinds
+            # frame-level (messenger); keep both out of the chunk-granular
+            # pipe injectors
             specs = [
                 s for s in self.specs
                 if s.layer == layer and s.applies_to(scope)
-                and s.kind != "partition"
+                and s.kind not in _PIPE_EXCLUDED
             ]
             rng = self._rng.child(scope).stream(layer)
             inj = self._injectors[key] = LayerInjector(
                 self, layer, scope, specs, rng
+            )
+        return inj
+
+    def adversary_injector(self, scope: str) -> LayerInjector:
+        """The (cached) wire-adversary injector for the messenger at
+        ``scope``.
+
+        Kept separate from the pipe injector for the same scope — and on
+        its own derived RNG stream — so enabling the adversary never
+        perturbs the existing ``net:degrade`` draw sequence.
+        """
+        key = ("net:adversary", scope)
+        inj = self._injectors.get(key)
+        if inj is None:
+            specs = [
+                s for s in self.specs
+                if s.layer == "net" and s.kind in ADVERSARY_KINDS
+                and s.applies_to(scope)
+            ]
+            rng = self._rng.child(scope).stream("net:adversary")
+            inj = self._injectors[key] = LayerInjector(
+                self, "net", scope, specs, rng
             )
         return inj
 
@@ -300,6 +339,20 @@ class FaultPlan:
 
     def attach_rpc(self, channel: Any, scope: str) -> None:
         channel.fault_injector = self.injector("rpc", scope)
+
+    def attach_msgr(self, messenger: Any, scope: str) -> None:
+        """Arm the wire adversary on one messenger's outbound frames.
+
+        A no-op when the plan has no adversary-kind ``net`` specs for
+        ``scope``, so un-adversarial runs keep a ``None`` adversary and
+        the messenger's integrity layer stays entirely event-free.
+        """
+        inj = self.adversary_injector(scope)
+        if not inj.specs:
+            return
+        from .msgr.adversary import WireAdversary  # local: layering
+
+        messenger.adversary = WireAdversary(inj)
 
     def attach_network(self, network: Any) -> None:
         """Install every ``net:partition`` spec as a sustained link-down
@@ -323,6 +376,15 @@ class FaultPlan:
         for server in getattr(cluster, "proxy_servers", []):
             self.attach_rpc(server.rpc, server.node.name)
         self.attach_network(cluster.network)
+        if any(s.kind in ADVERSARY_KINDS for s in self.layer_specs("net")):
+            for osd in getattr(cluster, "osds", []):
+                self.attach_msgr(osd.messenger, osd.messenger.address)
+            mon = getattr(cluster, "mon", None)
+            if mon is not None:
+                self.attach_msgr(mon.messenger, mon.messenger.address)
+            client = getattr(cluster, "client", None)
+            if client is not None:
+                self.attach_msgr(client.messenger, client.messenger.address)
 
     # ------------------------------------------------------------- counters
     def _record(self, layer: str, kind: str, size: int) -> None:

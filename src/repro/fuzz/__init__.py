@@ -15,7 +15,8 @@ minimal scenario serialized in the textual corpus format (header plus
 the PR-1 FaultPlan line) that replays the failure on its own.
 
 Entry points: :func:`run_fuzz` / :class:`Fuzzer` (the session loop),
-:func:`execute_scenario` (one input → one verdict), and
+:func:`execute_scenario` (one input → one verdict), :func:`run_soak`
+(checkpoint-resumed long-horizon sessions), and
 ``python -m repro fuzz`` on the command line.
 """
 
@@ -30,9 +31,11 @@ from .scenario import (
     scenario_to_text,
 )
 from .shrink import ShrinkResult, shrink
+from .soak import SOAK_STATE_VERSION, SoakReport, load_soak_state, run_soak
 
 __all__ = [
     "SCENARIO_FORMAT_VERSION",
+    "SOAK_STATE_VERSION",
     "CoverageMap",
     "FuzzReport",
     "Fuzzer",
@@ -40,10 +43,13 @@ __all__ = [
     "ScenarioGenerator",
     "ScenarioOutcome",
     "ShrinkResult",
+    "SoakReport",
     "TARGET_KEYS",
     "ViolationRecord",
     "execute_scenario",
+    "load_soak_state",
     "run_fuzz",
+    "run_soak",
     "scenario_from_text",
     "scenario_to_text",
     "shrink",

@@ -107,6 +107,9 @@ def _coverage_keys(
             keys.add("chaos.settle_timeout")
         if report.writes_failed:
             keys.add("client.op_failed")
+        for wire_key, count in report.wire_incidents.items():
+            if count:
+                keys.add(f"wire.{wire_key}")
     if aborted:
         keys.add("abort." + aborted.split(":", 1)[0])
     return frozenset(keys)

@@ -29,7 +29,7 @@ import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..util.rng import SeededRng
 from ..util.wallclock import perf_counter
@@ -159,8 +159,32 @@ class Fuzzer:
         self.coverage = CoverageMap()
         #: (scenario, keys it discovered) — the mutation parent pool.
         self.queue: list[tuple[Scenario, tuple[str, ...]]] = []
+        #: violation signatures already shrunk (here or in a previous
+        #: soak session) — each signature is shrunk at most once.
+        self.seen_signatures: set[str] = set()
         self.executions = 0
         self._lines: list[str] = []
+
+    def restore(
+        self,
+        coverage: dict[str, int],
+        queue: Iterable[tuple[str, Iterable[str]]] = (),
+        seen_signatures: Iterable[str] = (),
+    ) -> None:
+        """Preload a previous session's checkpoint (soak mode).
+
+        ``coverage`` is hit counts per key; ``queue`` is the persisted
+        mutation-parent pool as ``(scenario text, discovered keys)``
+        pairs; ``seen_signatures`` suppresses re-shrinking violation
+        classes already minimized in an earlier session."""
+        for key, count in coverage.items():
+            if count > 0:
+                self.coverage.counts[key] = (
+                    self.coverage.counts.get(key, 0) + int(count)
+                )
+        for text, keys in queue:
+            self.queue.append((scenario_from_text(text), tuple(keys)))
+        self.seen_signatures.update(seen_signatures)
 
     # ------------------------------------------------------------- plumbing
     def _log(self, message: str) -> None:
@@ -299,7 +323,7 @@ class Fuzzer:
         replayed, corpus_failures = self._replay_corpus()
         progression: list[tuple[int, int]] = []
         violations: list[ViolationRecord] = []
-        seen_signatures: set[str] = set()
+        seen_signatures = self.seen_signatures
         iterations_run = 0
         for iteration in range(iterations):
             if (

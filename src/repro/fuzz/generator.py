@@ -116,6 +116,20 @@ class ScenarioGenerator:
             return FaultSpec(layer="rpc", kind=kind, probability=p,
                              burst=rng.choice([1, 1, 2, 3]))
         if layer == "net":
+            if kind == "jitter":
+                return FaultSpec(
+                    layer="net", kind="jitter",
+                    probability=round(rng.uniform(0.05, 0.35), 3),
+                    delay=round(rng.uniform(0.0005, 0.01), 4),
+                )
+            if kind in ("corrupt", "dup", "reorder", "truncate"):
+                # wire-adversary kinds: per-frame probabilistic, with an
+                # occasional burst so retransmits get corrupted too
+                return FaultSpec(
+                    layer="net", kind=kind,
+                    probability=round(rng.uniform(0.05, 0.35), 3),
+                    burst=rng.choice([1, 1, 1, 2]),
+                )
             start = round(rng.uniform(0.5, 2.0), 3)
             length = round(rng.uniform(1.0, 3.0), 3)
             if kind == "partition":

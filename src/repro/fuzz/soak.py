@@ -1,0 +1,228 @@
+"""Long-horizon fuzz soak: checkpointed time-budget sessions.
+
+CI smoke runs are deliberately short; the adversarial schedules worth
+finding (rare reset/reorder interleavings, corruption of a retransmit
+of a retransmit) need wall-clock the merge gate cannot spend.  The soak
+runner turns that into an *accumulating* background job:
+
+* each invocation runs one time-budgeted :class:`~.fuzzer.Fuzzer`
+  session with a **fresh seed** (``base_seed + session_index``), so
+  consecutive nights explore different schedule space instead of
+  replaying the same deterministic trajectory;
+* coverage hit counts, the mutation-parent queue and the set of
+  already-shrunk violation signatures persist in a JSON checkpoint
+  (``--soak-state``), so session N+1 starts where N stopped — parents
+  that found rare behaviors keep being mutated, and a violation class
+  is shrunk once, not once per night;
+* shrunk violation plans land in the shared corpus directory exactly as
+  in a normal session, ready to be committed as regression tests.
+
+Within one session everything is still deterministic: the same
+``(seed, iterations, corpus, checkpoint)`` replays bit-identically.
+Wall-clock enters only through the time budget and the (fingerprint-
+excluded) bookkeeping fields.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..util.wallclock import perf_counter
+from .fuzzer import FuzzReport, Fuzzer
+from .scenario import Scenario, scenario_to_text
+
+__all__ = ["SOAK_STATE_VERSION", "SoakReport", "load_soak_state", "run_soak"]
+
+SOAK_STATE_VERSION = 1
+
+#: Mutation parents kept across sessions (newest wins — older parents
+#: have had the most mutation chances already).
+_QUEUE_KEEP = 64
+
+
+@dataclass
+class SoakReport:
+    """One soak session's outcome plus the accumulated totals."""
+
+    base_seed: int
+    session_index: int
+    session_seed: int
+    report: FuzzReport
+    new_keys: int
+    total_sessions: int
+    total_iterations: int
+    total_executions: int
+    total_wall_s: float
+    state_path: str = ""
+    history: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.report.passed
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "base_seed": self.base_seed,
+            "session_index": self.session_index,
+            "session_seed": self.session_seed,
+            "passed": self.passed,
+            "new_keys": self.new_keys,
+            "total_sessions": self.total_sessions,
+            "total_iterations": self.total_iterations,
+            "total_executions": self.total_executions,
+            "total_wall_s": round(self.total_wall_s, 6),
+            "state_path": self.state_path,
+            "history": list(self.history),
+            "session": self.report.as_dict(),
+        }
+
+
+def load_soak_state(path: str | pathlib.Path) -> Optional[dict[str, Any]]:
+    """The parsed checkpoint, or ``None`` if absent/unreadable/stale."""
+    p = pathlib.Path(path)
+    if not p.is_file():
+        return None
+    try:
+        state = json.loads(p.read_text())
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(state, dict)
+        or state.get("version") != SOAK_STATE_VERSION
+    ):
+        return None
+    return state
+
+
+def _save_soak_state(
+    path: pathlib.Path,
+    base_seed: int,
+    sessions: int,
+    fuzzer: Fuzzer,
+    totals: dict[str, Any],
+    history: list[dict[str, Any]],
+) -> None:
+    queue: list[list[Any]] = []
+    seen_texts: set[str] = set()
+    for scenario, keys in reversed(fuzzer.queue):
+        text = scenario_to_text(scenario)
+        if text in seen_texts:
+            continue
+        seen_texts.add(text)
+        queue.append([text, sorted(keys)])
+        if len(queue) >= _QUEUE_KEEP:
+            break
+    queue.reverse()
+    state = {
+        "version": SOAK_STATE_VERSION,
+        "base_seed": base_seed,
+        "sessions": sessions,
+        "coverage": fuzzer.coverage.as_dict(),
+        "queue": queue,
+        "seen_signatures": sorted(fuzzer.seen_signatures),
+        "total_iterations": totals["iterations"],
+        "total_executions": totals["executions"],
+        "total_wall_s": round(totals["wall_s"], 6),
+        "history": history,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(state, sort_keys=True, indent=1))
+    tmp.replace(path)
+
+
+def run_soak(
+    base_seed: int = 0,
+    time_budget: float = 60.0,
+    state_path: str | pathlib.Path = "fuzz_soak_state.json",
+    corpus_dir: Optional[str | pathlib.Path] = None,
+    iterations: int = 1_000_000,
+    log: Optional[Callable[[str], None]] = None,
+    execute: Optional[Callable[[Scenario], Any]] = None,
+    nodes: int = 3,
+) -> SoakReport:
+    """One checkpoint-resumed soak session.
+
+    Loads the checkpoint at ``state_path`` (ignoring it with a log line
+    if its ``base_seed`` differs), runs one fuzz session with seed
+    ``base_seed + session_index`` under ``time_budget`` wall seconds,
+    then writes the updated checkpoint back atomically.  ``iterations``
+    is an upper bound; the budget is the real cutoff."""
+    t0 = perf_counter()
+    path = pathlib.Path(state_path)
+    state = load_soak_state(path)
+    if state is not None and state.get("base_seed") != int(base_seed):
+        if log is not None:
+            log(
+                f"soak state {path} was built for base seed"
+                f" {state.get('base_seed')}; starting fresh for"
+                f" {base_seed}"
+            )
+        state = None
+
+    session_index = int(state["sessions"]) if state else 0
+    session_seed = int(base_seed) + session_index
+    history: list[dict[str, Any]] = list(state["history"]) if state else []
+    totals = {
+        "iterations": int(state["total_iterations"]) if state else 0,
+        "executions": int(state["total_executions"]) if state else 0,
+        "wall_s": float(state["total_wall_s"]) if state else 0.0,
+    }
+
+    fuzzer = Fuzzer(
+        seed=session_seed, corpus_dir=corpus_dir, execute=execute,
+        log=log, nodes=nodes,
+    )
+    if state is not None:
+        fuzzer.restore(
+            coverage=state.get("coverage", {}),
+            queue=[(t, tuple(k)) for t, k in state.get("queue", [])],
+            seen_signatures=state.get("seen_signatures", ()),
+        )
+    keys_before = len(fuzzer.coverage)
+    if log is not None:
+        log(
+            f"soak session {session_index} (seed {session_seed}):"
+            f" resuming with {keys_before} coverage keys,"
+            f" {len(fuzzer.queue)} queue parents,"
+            f" {len(fuzzer.seen_signatures)} known signatures"
+        )
+
+    report = fuzzer.run(iterations=iterations, time_budget=time_budget)
+    new_keys = len(fuzzer.coverage) - keys_before
+
+    wall_s = perf_counter() - t0
+    totals["iterations"] += report.iterations_run
+    totals["executions"] += report.executions
+    totals["wall_s"] += wall_s
+    history.append({
+        "session": session_index,
+        "seed": session_seed,
+        "iterations": report.iterations_run,
+        "executions": report.executions,
+        "new_keys": new_keys,
+        "coverage": len(fuzzer.coverage),
+        "violations": len(report.violations),
+        "corpus_failures": len(report.corpus_failures),
+        "fingerprint": report.fingerprint(),
+        "wall_s": round(wall_s, 6),
+    })
+    _save_soak_state(
+        path, int(base_seed), session_index + 1, fuzzer, totals, history
+    )
+    return SoakReport(
+        base_seed=int(base_seed),
+        session_index=session_index,
+        session_seed=session_seed,
+        report=report,
+        new_keys=new_keys,
+        total_sessions=session_index + 1,
+        total_iterations=totals["iterations"],
+        total_executions=totals["executions"],
+        total_wall_s=totals["wall_s"],
+        state_path=str(path),
+        history=history,
+    )

@@ -73,6 +73,10 @@ class LintConfig:
         "repro/osd/",
         "repro/msgr/",
     )
+    #: Wire-adversary modules: must hold no RNG of their own (DET107) —
+    #: every perturbation decision comes from the FaultPlan-derived
+    #: per-(layer, node) injector stream handed in at attach time.
+    adversary_modules: tuple[str, ...] = ("repro/msgr/adversary.py",)
     #: Hot allocation paths: classes here must declare ``__slots__``
     #: (PERF301) — the PR 4 engine work is load-bearing on it.
     hot_paths: tuple[str, ...] = (

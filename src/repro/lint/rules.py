@@ -392,6 +392,63 @@ def det106_env_read(ctx: LintContext) -> list[Finding]:
     return findings
 
 
+@rule(
+    "DET107",
+    "adversary-own-rng",
+    "wire-adversary module owning randomness instead of receiving it",
+)
+def det107_adversary_rng(ctx: LintContext) -> list[Finding]:
+    """Adversary modules must stay RNG-free: every perturbation decision
+    has to come from the per-(layer, node) injector stream the FaultPlan
+    hands in, or two runs with the same seed diverge the moment the
+    adversary is armed.  Flags ``import random``, any ``random.*`` use,
+    and ``SeededRng(...)`` construction inside
+    ``config.adversary_modules``."""
+    if ctx.relpath not in ctx.config.adversary_modules:
+        return []
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    findings.append(
+                        ctx.finding(
+                            node,
+                            "DET107",
+                            "adversary module imports random — decisions "
+                            "must come from the FaultPlan injector stream",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            mod = (node.module or "").split(".")[0]
+            if mod == "random" or any(
+                alias.name == "SeededRng" for alias in node.names
+            ):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "DET107",
+                        "adversary module imports its own RNG — decisions "
+                        "must come from the FaultPlan injector stream",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if resolved is not None and (
+                resolved.startswith("random.")
+                or resolved.split(".")[-1] == "SeededRng"
+            ):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        "DET107",
+                        f"{resolved}() inside an adversary module — use the "
+                        "injector stream handed in by FaultPlan.attach_msgr",
+                    )
+                )
+    return findings
+
+
 # --------------------------------------------------------------- SIM2xx rules
 
 #: Calls that block on the real world: inside the event loop they stall

@@ -6,6 +6,7 @@ loops with TCP stack CPU accounting, per-connection ordered delivery,
 dispatch throttling, and heartbeat traffic.
 """
 
+from .adversary import WireAdversary
 from .heartbeat import HeartbeatAgent
 from .message import (
     Message,
@@ -33,6 +34,7 @@ from .messenger import (
     Dispatcher,
     MessengerCostModel,
     MsgrDirectory,
+    WireFrame,
     MSGR_CATEGORY,
 )
 
@@ -40,6 +42,8 @@ __all__ = [
     "AsyncMessenger",
     "Connection",
     "Dispatcher",
+    "WireAdversary",
+    "WireFrame",
     "HeartbeatAgent",
     "MSGR_CATEGORY",
     "Message",

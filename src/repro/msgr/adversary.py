@@ -1,0 +1,110 @@
+"""Seeded wire-level adversary for the messenger (`net:*` fault kinds).
+
+Sits on a messenger's outbound path, between :meth:`Connection.send`
+and the peer's dispatch, and perturbs encoded frames the way a hostile
+(or merely broken) fabric would:
+
+========  ==============================================================
+kind      effect on the frame
+========  ==============================================================
+corrupt   payload blob swapped for a same-length impostor (or, for
+          header-only frames, one byte flipped) — the frame CRC no
+          longer matches the bytes
+dup       delivered twice; the receiver's sequence window must
+          suppress the second copy
+reorder   held back until the next frame on the connection passes it
+          (bounded window of 1, plus a flush timer so a trailing frame
+          is never held forever)
+truncate  the tail extent is cut short — decode runs past the end of
+          the bufferlist
+jitter    delivery delayed by ``spec.delay`` seconds on a detached
+          process, so later frames can overtake it
+========  ==============================================================
+
+The adversary holds **no RNG of its own**: every decision comes from
+the :class:`~repro.faults.LayerInjector` handed in by
+:meth:`FaultPlan.attach_msgr`, whose stream is derived per
+``(scope, "net:adversary")`` — separate from the NIC-pipe stream, so
+arming the adversary never perturbs an existing ``net:degrade``
+schedule.  Mutations never touch the original frame buffers (the
+sender's resend buffer keeps the pristine copy retransmission needs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..util.bufferlist import BufferList, DataBlob
+
+__all__ = ["WireAdversary"]
+
+#: Fixed evaluation order, one injector consultation per present kind
+#: per frame — the draw sequence is a pure function of frame order.
+_ACTION_ORDER = ("corrupt", "truncate", "dup", "reorder", "jitter")
+
+
+class WireAdversary:
+    """Per-messenger frame perturbation driven by a fault injector."""
+
+    __slots__ = ("injector", "_kinds")
+
+    def __init__(self, injector: Any) -> None:
+        self.injector = injector
+        present = {spec.kind for spec in injector.specs}
+        self._kinds = tuple(k for k in _ACTION_ORDER if k in present)
+
+    def action(self, now: float, size: int) -> Optional[Any]:
+        """The first adversary spec that fires for this frame, if any."""
+        for kind in self._kinds:
+            spec = self.injector.fire(now, kind=kind, size=size)
+            if spec is not None:
+                return spec
+        return None
+
+    # -- frame mutations (pure; never alias the input's mutable state) ----
+
+    @staticmethod
+    def corrupted(bl: BufferList) -> BufferList:
+        """A copy of ``bl`` whose content no longer matches its CRC.
+
+        The first payload blob is swapped for a fresh same-length blob
+        (a silent payload substitution — exactly what an undetected bit
+        flip in bulk data amounts to); frames without bulk payload get
+        one header byte flipped instead.
+        """
+        extents = bl.extents()
+        has_blob = any(isinstance(e, DataBlob) for e in extents)
+        out = BufferList()
+        swapped = False
+        for extent in extents:
+            if isinstance(extent, DataBlob):
+                if swapped:
+                    out.append_blob(extent)
+                else:
+                    out.append_blob(DataBlob(extent.length))
+                    swapped = True
+            elif has_blob or swapped or not extent:
+                out.append_raw(extent)
+            else:
+                mutated = bytearray(extent)
+                mutated[len(mutated) // 2] ^= 0x40
+                out.append_raw(bytes(mutated))
+                swapped = True
+        return out
+
+    @staticmethod
+    def truncated(bl: BufferList) -> BufferList:
+        """A copy of ``bl`` with its tail cut off mid-extent."""
+        out = BufferList()
+        extents = bl.extents()
+        for extent in extents[:-1]:
+            if isinstance(extent, DataBlob):
+                out.append_blob(extent)
+            else:
+                out.append_raw(extent)
+        if extents:
+            last = extents[-1]
+            if not isinstance(last, DataBlob) and len(last) > 1:
+                out.append_raw(last[:-1])
+            # a blob tail (or single-byte tail) is dropped entirely
+        return out

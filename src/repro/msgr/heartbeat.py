@@ -42,6 +42,7 @@ class HeartbeatAgent:
         "whoami",
         "last_seen",
         "_tid",
+        "_last_tid_in",
         "_peer_ids",
         "_procs",
     )
@@ -65,6 +66,9 @@ class HeartbeatAgent:
         self.whoami = whoami
         self.last_seen: dict[str, float] = {}
         self._tid = 0
+        #: (src, is_reply) → highest tid seen, so a ping delayed or
+        #: replayed past a newer one cannot masquerade as fresh liveness
+        self._last_tid_in: dict[tuple[str, bool], int] = {}
         #: addr → osd id for the current dynamic peer set.
         self._peer_ids: dict[str, int] = {}
         if osdmap is None:
@@ -139,8 +143,20 @@ class HeartbeatAgent:
     # -- called by the owner's dispatcher ---------------------------------
     def handle_ping(self, msg: MOSDPing) -> MOSDPing | None:
         """Process an incoming ping; returns the reply to send (or
-        ``None`` if the ping was itself a reply)."""
-        self.last_seen[msg.src] = self.messenger.env.now
+        ``None`` if the ping was itself a reply).
+
+        ``last_seen`` only moves forward for pings *newer* than any
+        already seen from that peer (per direction): a reply delayed by
+        wire jitter past a later one, or re-delivered across a
+        connection reset, proves nothing the newer ping did not.
+        ``tid == 1`` is always fresh — it marks a restarted peer whose
+        counter began again.  Stale *requests* are still answered so
+        the peer's view of us stays live."""
+        key = (msg.src, msg.is_reply)
+        last = self._last_tid_in.get(key, 0)
+        if msg.tid > last or msg.tid == 1:
+            self._last_tid_in[key] = msg.tid
+            self.last_seen[msg.src] = self.messenger.env.now
         if msg.is_reply:
             return None
         return MOSDPing(tid=msg.tid, is_reply=True, stamp=msg.stamp)

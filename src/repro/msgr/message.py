@@ -444,7 +444,11 @@ class MOSDPGPush(Message):
     ``last`` marks the final push of the recovery round; it carries
     ``skipped``, the names the pusher holds but did not stream because
     the pull declared them in ``have`` (the puller needs the full set
-    the source knows to compute what to push back)."""
+    the source knows to compute what to push back), and ``pushed``, the
+    manifest of names the stream *did* send — the puller refuses to
+    credit an episode whose manifest it did not fully receive (a data
+    frame consumed at the wire layer must not leave a "full" copy with
+    a hole in it)."""
 
     TYPE: ClassVar[MessageType] = MessageType.PG_PUSH
 
@@ -455,6 +459,7 @@ class MOSDPGPush(Message):
     data: Optional[DataBlob] = None
     last: bool = False
     skipped: tuple = ()
+    pushed: tuple = ()
 
     def _encode_front(self, bl: BufferList) -> None:
         bl.encode_str(self.pool)
@@ -464,6 +469,9 @@ class MOSDPGPush(Message):
         bl.encode_bool(self.last)
         bl.encode_u32(len(self.skipped))
         for name in self.skipped:
+            bl.encode_str(name)
+        bl.encode_u32(len(self.pushed))
+        for name in self.pushed:
             bl.encode_str(name)
         bl.encode_bool(self.data is not None)
 
@@ -479,10 +487,11 @@ class MOSDPGPush(Message):
         length = d.decode_u64()
         last = d.decode_bool()
         skipped = tuple(d.decode_str() for _ in range(d.decode_u32()))
+        pushed = tuple(d.decode_str() for _ in range(d.decode_u32()))
         data = d.decode_blob() if d.decode_bool() else None
         return cls(src=src, tid=tid, pool=pool, pg_seed=pg_seed,
                    object_name=object_name, length=length, data=data,
-                   last=last, skipped=skipped)
+                   last=last, skipped=skipped, pushed=pushed)
 
     @property
     def data_len(self) -> int:

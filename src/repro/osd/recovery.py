@@ -145,7 +145,7 @@ class RecoveryManager:
         self._persists: dict[PgId, int] = {}
         #: pgid -> 'last' markers waiting for in-flight persists to
         #: drain before completing their source
-        self._deferred_last: dict[PgId, list[tuple[str, tuple]]] = {}
+        self._deferred_last: dict[PgId, list[tuple[str, tuple, tuple]]] = {}
         self._tid = 0
         self._windows: dict[int, _PushWindow] = {}  # push tid -> window
 
@@ -342,6 +342,7 @@ class RecoveryManager:
         skipped = tuple(sorted(n for n in names if n in puller_has))
         window = _PushWindow()
         incomplete = False
+        sent_names: list[str] = []
         for name in to_send:
             try:
                 blob = yield from osd.store.read(coll, name, 0, 1 << 62,
@@ -359,6 +360,7 @@ class RecoveryManager:
             self._tid += 1
             self._windows[self._tid] = window
             self.pushes_sent += 1
+            sent_names.append(name)
             osd.messenger.send_message(
                 MOSDPGPush(
                     tid=self._tid, pool=msg.pool, pg_seed=msg.pg_seed,
@@ -370,11 +372,15 @@ class RecoveryManager:
             return  # puller's stall timer re-pulls the missing delta
         # dedicated 'last' marker (no payload) after the data pushes: it
         # carries the skipped names so the puller knows the source's
-        # full inventory when computing what to push back
+        # full inventory when computing what to push back, and the
+        # manifest of streamed names so the puller can detect a data
+        # push the wire layer consumed (session drop, partition) and
+        # refuse to credit a holed episode
         self._tid += 1
         osd.messenger.send_message(
             MOSDPGPush(tid=self._tid, pool=msg.pool,
-                       pg_seed=msg.pg_seed, last=True, skipped=skipped),
+                       pg_seed=msg.pg_seed, last=True, skipped=skipped,
+                       pushed=tuple(sent_names)),
             msg.src,
         )
 
@@ -456,8 +462,10 @@ class RecoveryManager:
                     self._persists[pgid] = left
                 else:
                     self._persists.pop(pgid, None)
-                    for src, skipped in self._deferred_last.pop(pgid, []):
-                        self._complete_source(pgid, src, skipped)
+                    for src, skipped, pushed in self._deferred_last.pop(
+                        pgid, []
+                    ):
+                        self._complete_source(pgid, src, skipped, pushed)
         osd.messenger.send_message(
             MOSDPGPushReply(tid=msg.tid, pg_seed=msg.pg_seed), msg.src
         )
@@ -472,22 +480,41 @@ class RecoveryManager:
                 # register a copy whose store never saw that object —
                 # hold the marker until the persists drain.
                 self._deferred_last.setdefault(pgid, []).append(
-                    (msg.src, msg.skipped)
+                    (msg.src, msg.skipped, msg.pushed)
                 )
             else:
-                self._complete_source(pgid, msg.src, msg.skipped)
+                self._complete_source(pgid, msg.src, msg.skipped,
+                                      msg.pushed)
         release = getattr(msg, "throttle_release", None)
         if release is not None:
             release()
 
     def _complete_source(
-        self, pgid: PgId, addr: str, skipped: tuple = ()
+        self, pgid: PgId, addr: str, skipped: tuple = (),
+        pushed: tuple = (),
     ) -> None:
         """A source finished its stream; finish the episode when all
         requested sources have delivered."""
         pending = self._pull_pending.get(pgid)
         if pending is None:
             return  # stray 'last' from a superseded episode
+        if addr in pending and pushed:
+            # The 'last' marker's manifest names every object its
+            # stream sent.  A name we never saw means a data push was
+            # consumed at the wire layer (session reset dropped the
+            # pending frame, or a partition tombstoned it) while the
+            # marker itself survived — crediting this episode would
+            # register a "full" copy with a hole where an acked write
+            # should be.  Abort; the stall timer / next tick re-pulls.
+            got = self._recv_names.get(pgid, {}).get(addr, set())
+            if any(name not in got for name in pushed):
+                self._pull_pending.pop(pgid, None)
+                self._pulling.pop(pgid, None)
+                self._pull_progress.pop(pgid, None)
+                self._recv_names.pop(pgid, None)
+                self._deferred_last.pop(pgid, None)
+                self.pulls_retried += 1
+                return
         entry = pending.pop(addr, None)
         if entry is not None:
             source, full, gen = entry

@@ -111,6 +111,9 @@ class RadosClient:
         self.retry_backoff = retry_backoff
         self._pending: dict[int, Event] = {}
         self._sent_at: dict[int, float] = {}
+        #: tid -> peer address, so a connect fault on one peer can fail
+        #: exactly the replies pending on it
+        self._target: dict[int, str] = {}
         self._tid = 0
         #: Optional :class:`repro.trace.Tracer`; when set, every op
         #: mints a root span and each attempt a child span that rides
@@ -138,6 +141,7 @@ class RadosClient:
             ev = self.env.event()
             self._pending[tid] = ev
             self._sent_at[tid] = self.env.now
+            self._target[tid] = self.mon_addr
             self.messenger.send_message(MMonGetMap(tid=tid), self.mon_addr)
             reply = yield from self._await_reply(tid, ev)
             if reply is not None:
@@ -164,6 +168,7 @@ class RadosClient:
             return ev.value
         self._pending.pop(tid, None)
         self._sent_at.pop(tid, None)
+        self._target.pop(tid, None)
         return None
 
     # ---------------------------------------------------------------- ops
@@ -256,6 +261,7 @@ class RadosClient:
             ev = self.env.event()
             self._pending[tid] = ev
             self._sent_at[tid] = self.env.now
+            self._target[tid] = self.osdmap.address_of(primary)
             if attempt > 1:
                 self.resends += 1
             if root_span is not None:
@@ -327,6 +333,7 @@ class RadosClient:
         ev = self.env.event()
         self._pending[tid] = ev
         self._sent_at[tid] = self.env.now
+        self._target[tid] = self.mon_addr
         self.messenger.send_message(MMonGetMap(
             tid=tid,
             have_epoch=self.osdmap.epoch if self.osdmap else 0,
@@ -385,12 +392,30 @@ class RadosClient:
         return self._tid
 
     # ---------------------------------------------------------------- dispatch
+    def ms_handle_connect_fault(self, peer_addr: str) -> None:
+        """The messenger could not deliver to ``peer_addr`` (a partition
+        ate the frame, or the peer's session reset dropped the queue).
+        Fail the replies pending on that peer with a ``None`` reply so
+        the op-level retry loop takes over — bounding even the
+        ``op_timeout=None`` client to ``max_attempts`` instead of
+        waiting forever on a reply that can no longer arrive."""
+        stalled = [
+            tid for tid, addr in self._target.items() if addr == peer_addr
+        ]
+        for tid in stalled:
+            ev = self._pending.pop(tid, None)
+            self._sent_at.pop(tid, None)
+            self._target.pop(tid, None)
+            if ev is not None and not ev.triggered:
+                ev.succeed(None)
+
     def ms_dispatch(
         self, msg: Message, conn: Connection
     ) -> Generator[Any, Any, None]:
         if isinstance(msg, (MOSDOpReply, MMonMapReply)):
             ev = self._pending.pop(msg.tid, None)
             self._sent_at.pop(msg.tid, None)
+            self._target.pop(msg.tid, None)
             if ev is not None:
                 ev.succeed(msg)
         release = getattr(msg, "throttle_release", None)

@@ -68,6 +68,9 @@ class Monitor:
         }
         #: target osd → {reporter osd: report time}
         self._failure_reports: dict[int, dict[int, float]] = {}
+        #: osd → highest beacon tid accepted (stale-straggler guard)
+        self._beacon_seq: dict[int, int] = {}
+        self.stale_beacons = 0
         self.maps_served = 0
         self.osds_marked_down = 0
         self.osds_marked_out = 0
@@ -109,6 +112,16 @@ class Monitor:
 
     def _handle_beacon(self, msg: MOSDBeacon) -> None:
         now = self.env.now
+        # A beacon delayed past a newer one (wire jitter) or replayed
+        # across a connection reset carries an outdated failed_peers
+        # snapshot — acting on it would flap the map on stale evidence.
+        # tid 1 is always fresh: a restarted daemon's counter begins
+        # again, and its first beacon must not be mistaken for history.
+        last = self._beacon_seq.get(msg.osd_id, 0)
+        if 1 < msg.tid <= last:
+            self.stale_beacons += 1
+            return
+        self._beacon_seq[msg.osd_id] = msg.tid
         self.last_beacon[msg.osd_id] = now
         for target in msg.failed_peers:
             if target != msg.osd_id and target in self.osdmap.osds:

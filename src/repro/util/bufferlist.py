@@ -161,6 +161,13 @@ class BufferList:
             self._tail = None
         return self._extents
 
+    def append_raw(self, data: bytes) -> None:
+        """Append already-encoded bytes verbatim (no length prefix).
+
+        For reassembling a bufferlist extent-by-extent — e.g. the wire
+        adversary rebuilding a frame with a mutated extent."""
+        self._raw(data)
+
     def append_blob(self, blob: DataBlob) -> None:
         """Append a virtual bulk-data extent."""
         self._flush()

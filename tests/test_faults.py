@@ -25,6 +25,7 @@ from repro.faults import (
     FAULT_KINDS,
     FaultPlan,
     FaultSpec,
+    format_fault_specs,
     parse_fault_specs,
 )
 from repro.hw import (
@@ -106,6 +107,35 @@ def test_spec_validation():
                     FaultSpec(layer=layer, kind=kind)  # needs window+nodes
             else:
                 FaultSpec(layer=layer, kind=kind)  # all valid combos build
+
+
+def test_parse_adversary_kinds_round_trip():
+    text = (
+        "net:corrupt,p=0.2;net:dup,p=0.1,burst=2;net:reorder,nth=3;"
+        "net:truncate,p=0.05;net:jitter,p=0.3,delay=0.002"
+    )
+    specs = parse_fault_specs(text)
+    assert [s.kind for s in specs] == [
+        "corrupt", "dup", "reorder", "truncate", "jitter",
+    ]
+    assert all(s.layer == "net" for s in specs)
+    # format → parse is the identity (the corpus relies on this)
+    assert tuple(parse_fault_specs(format_fault_specs(specs))) == tuple(specs)
+
+
+def test_pipe_injector_excludes_adversary_kinds():
+    """Frame-level adversary specs must never leak into the chunk-level
+    NIC pipe injector (and vice versa): each consumes from its own
+    stream and acts at a different layer of the model."""
+    plan = FaultPlan.parse(
+        "net:corrupt,p=1;net:jitter,p=1,delay=0.001;"
+        "net:degrade,window=0-1,factor=2",
+        seed=SEED,
+    )
+    pipe = plan.injector("net", "node0")
+    assert [s.kind for s in pipe.specs] == ["degrade"]
+    adversary = plan.adversary_injector("node0")
+    assert sorted(s.kind for s in adversary.specs) == ["corrupt", "jitter"]
 
 
 # --------------------------------------------------------------- injector semantics

@@ -14,11 +14,14 @@ import pytest
 
 from repro.faults import FaultSpec
 from repro.fuzz import (
+    SOAK_STATE_VERSION,
     CoverageMap,
     Fuzzer,
     Scenario,
     ScenarioGenerator,
     execute_scenario,
+    load_soak_state,
+    run_soak,
     scenario_from_text,
     scenario_to_text,
     shrink,
@@ -241,6 +244,81 @@ def test_fuzz_report_fingerprint_excludes_wallclock():
     assert report.fingerprint() == fp
 
 
+# ------------------------------------------------------------ soak sessions
+
+
+def test_soak_checkpoint_accumulates_across_invocations(tmp_path):
+    """Two consecutive soak invocations share one checkpoint: session
+    seeds advance, coverage / queue / shrunk signatures persist, and
+    the totals accumulate."""
+    state = tmp_path / "soak.json"
+    corpus = tmp_path / "corpus"
+    first = run_soak(base_seed=5, time_budget=60.0, state_path=state,
+                     iterations=60, execute=_seeded_bug_executor,
+                     corpus_dir=corpus)
+    assert (first.session_index, first.session_seed) == (0, 5)
+    assert first.total_sessions == 1
+    assert first.new_keys > 0
+    assert not first.passed  # the seeded bug was found and shrunk
+    data = load_soak_state(state)
+    assert data["version"] == SOAK_STATE_VERSION
+    assert data["sessions"] == 1
+    assert "missing" in data["seen_signatures"]
+    assert sorted(corpus.glob("*.plan"))
+
+    second = run_soak(base_seed=5, time_budget=60.0, state_path=state,
+                      iterations=60, execute=_seeded_bug_executor,
+                      corpus_dir=corpus)
+    assert (second.session_index, second.session_seed) == (1, 6)
+    assert second.total_sessions == 2
+    assert second.total_iterations == (
+        first.report.iterations_run + second.report.iterations_run
+    )
+    data2 = load_soak_state(state)
+    assert data2["sessions"] == 2
+    # coverage keys only accumulate; the shrunk signature is remembered
+    assert set(data["coverage"]) <= set(data2["coverage"])
+    assert "missing" in data2["seen_signatures"]
+    assert len(data2["queue"]) <= 64
+    for text, keys in data2["queue"]:
+        scenario_from_text(text)  # every persisted parent replays
+        assert keys == sorted(keys)
+    assert [h["session"] for h in data2["history"]] == [0, 1]
+    assert all(h["fingerprint"] for h in data2["history"])
+
+
+def test_soak_state_ignored_for_different_base_seed(tmp_path):
+    state = tmp_path / "soak.json"
+    run_soak(base_seed=5, time_budget=60.0, state_path=state,
+             iterations=10, execute=_seeded_bug_executor)
+    lines = []
+    fresh = run_soak(base_seed=11, time_budget=60.0, state_path=state,
+                     iterations=10, execute=_seeded_bug_executor,
+                     log=lines.append)
+    assert (fresh.session_index, fresh.session_seed) == (0, 11)
+    assert fresh.total_sessions == 1
+    assert any("starting fresh" in line for line in lines)
+    assert load_soak_state(state)["base_seed"] == 11
+
+
+def test_soak_session_replays_bit_identically(tmp_path):
+    """Resuming twice from copies of the same checkpoint produces the
+    same session fingerprint (wall-clock never leaks in)."""
+    seed_state = tmp_path / "soak.json"
+    run_soak(base_seed=5, time_budget=60.0, state_path=seed_state,
+             iterations=40, execute=_seeded_bug_executor)
+    twins = []
+    for name in ("a", "b"):
+        twin = tmp_path / f"{name}.json"
+        twin.write_text(seed_state.read_text())
+        twins.append(run_soak(
+            base_seed=5, time_budget=60.0, state_path=twin,
+            iterations=40, execute=_seeded_bug_executor,
+        ))
+    assert twins[0].report.fingerprint() == twins[1].report.fingerprint()
+    assert twins[0].session_seed == twins[1].session_seed
+
+
 # ------------------------------------------------------- real regressions
 
 
@@ -257,3 +335,42 @@ def test_committed_corpus_replays_clean():
         assert outcome.violations == (), (
             f"{path.name} regressed: {outcome.violations}"
         )
+
+
+def test_wire_corpus_plans_exercise_wire_coverage():
+    """The committed ``wire-*`` demonstration plans must keep producing
+    the adversary-recovery coverage keys they were committed for — a
+    plan that stops hitting its wire path has silently gone stale."""
+    expectations = {
+        "wire-corruption-recovered": {"wire.crc_rejected",
+                                      "wire.retransmit"},
+        "wire-dup-suppression": {"wire.dup_suppressed", "wire.gap"},
+    }
+    plans = sorted(CORPUS.glob("wire-*.plan"))
+    assert len(plans) >= 2, "wire demonstration plans missing"
+    for path in plans:
+        prefix = path.name.rsplit("-", 1)[0]
+        expected = expectations[prefix]
+        outcome = execute_scenario(scenario_from_text(path.read_text()))
+        assert outcome.ok, f"{path.name}: {outcome.violations}"
+        missing = expected - outcome.coverage
+        assert not missing, f"{path.name} lost coverage: {sorted(missing)}"
+
+
+def test_corruption_corpus_plan_caught_by_oracle_without_crc():
+    """Defense proof at the fuzz level: replaying the corruption plan
+    with frame verification disabled delivers the swapped payloads, and
+    the durability oracle — not the messenger — reports them."""
+    from repro.msgr import AsyncMessenger
+
+    path = next(iter(sorted(CORPUS.glob("wire-corruption-recovered-*"))))
+    scenario = scenario_from_text(path.read_text())
+    try:
+        AsyncMessenger.verify_frames = False
+        outcome = execute_scenario(scenario)
+    finally:
+        AsyncMessenger.verify_frames = True
+    assert outcome.aborted == ""
+    assert outcome.violations
+    assert violation_signature(outcome.violations) == "identity"
+    assert "wire.crc_rejected" not in outcome.coverage

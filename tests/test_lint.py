@@ -171,6 +171,35 @@ def test_det106_cli_and_config_are_exempt():
     assert lint_source(src, "repro/cluster/config.py", select=["DET106"]) == []
 
 
+# ------------------------------------------------------------------ DET107
+
+
+def test_det107_flags_adversary_owning_rng():
+    src = (
+        "import random\n"
+        "from repro.util.rng import SeededRng\n"
+        "def f():\n"
+        "    r = SeededRng(1)\n"
+        "    return random.random()\n"
+    )
+    found = lint_source(src, "repro/msgr/adversary.py", select=["DET107"])
+    assert [f.code for f in found] == ["DET107"] * 4
+
+
+def test_det107_other_modules_are_exempt():
+    src = "from repro.util.rng import SeededRng\n\nr = SeededRng(1)\n"
+    assert lint_source(src, "repro/faults.py", select=["DET107"]) == []
+
+
+def test_det107_real_adversary_module_is_clean():
+    import pathlib
+
+    path = pathlib.Path("src/repro/msgr/adversary.py")
+    found = lint_source(path.read_text(), "repro/msgr/adversary.py",
+                        select=["DET107"])
+    assert found == []
+
+
 # ------------------------------------------------------------------ SIM201
 
 
@@ -552,5 +581,5 @@ def test_fifo_drain_is_digest_neutral_with_until_events():
 def test_rule_catalogue_is_complete():
     assert sorted(RULES) == [
         "DET101", "DET102", "DET103", "DET104", "DET105", "DET106",
-        "PERF301", "PERF302", "SIM201", "SIM202",
+        "DET107", "PERF301", "PERF302", "SIM201", "SIM202",
     ]

@@ -1,0 +1,316 @@
+"""Wire adversary + end-to-end message integrity.
+
+Covers the tentpole contract from both sides:
+
+* every adversary kind (corrupt/truncate/dup/reorder/jitter) is
+  injected on a live messenger pair and the seq/CRC/retransmit layer
+  recovers — every message is dispatched exactly once, in order, with
+  its payload identity intact;
+* the reconnect edges: a half-open connection (receiver restarted,
+  sender unaware), a duplicate frame straddling a connection reset, and
+  a reorder burst as deep as the in-flight window;
+* determinism: every scenario, run twice, produces identical delivery
+  sequences, wire counters and simulated clocks.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, parse_fault_specs
+from repro.hw import Network
+from repro.msgr import AsyncMessenger, MOSDOp, MsgrDirectory, OpType
+from repro.msgr.messenger import WireFrame
+from repro.sim import Environment
+from repro.util import DataBlob
+
+from tests.helpers import make_stack
+
+
+class RecordingDispatcher:
+    def __init__(self):
+        self.received = []
+
+    def ms_dispatch(self, msg, conn):
+        self.received.append(msg)
+        if False:
+            yield
+
+
+def build_pair(env, workers=2):
+    net = Network(env, latency_s=10e-6)
+    directory = MsgrDirectory()
+    a = AsyncMessenger(
+        make_stack(env, net, "a", bandwidth_bps=100e9, cores=4),
+        "ms.a", directory, workers=workers,
+    )
+    b = AsyncMessenger(
+        make_stack(env, net, "b", bandwidth_bps=100e9, cores=4),
+        "ms.b", directory, workers=workers,
+    )
+    return a, b
+
+
+def _send_ops(a, n, start=0, size=1 << 16):
+    blobs = []
+    for i in range(start, start + n):
+        blob = DataBlob(size)
+        blobs.append(blob)
+        a.send_message(
+            MOSDOp(tid=i, pool="p", object_name=f"o{i}", op=OpType.WRITE,
+                   length=size, data=blob),
+            "b",
+        )
+    return blobs
+
+
+def _run_adversary_scenario(faults, seed=0, n=6):
+    """One messenger-pair run under ``faults``; returns the evidence."""
+    env = Environment()
+    a, b = build_pair(env)
+    sink = RecordingDispatcher()
+    b.register_dispatcher(sink)
+    plan = FaultPlan(seed=seed, specs=parse_fault_specs(faults))
+    plan.attach_msgr(a, "a")
+    blobs = _send_ops(a, n)
+    env.run(until=2.0)
+    return {
+        "tids": [m.tid for m in sink.received],
+        "blobs": [m.data for m in sink.received],
+        "sent_blobs": blobs,
+        "wire_a": dict(a.wire_stats),
+        "wire_b": dict(b.wire_stats),
+        "injected": dict(plan.injected),
+        "now": env.now,
+    }
+
+
+def _replayable(out):
+    """The cross-run-comparable projection (blob ids are a process-wide
+    counter, so the blob objects themselves differ between runs)."""
+    return {k: v for k, v in out.items() if k not in ("blobs", "sent_blobs")}
+
+
+# ------------------------------------------------------------ per-kind
+
+
+def test_corrupt_detected_and_recovered():
+    out = _run_adversary_scenario("net:corrupt,nth=1")
+    assert out["injected"].get("net.corrupt", 0) >= 1
+    assert out["wire_b"].get("crc_rejected", 0) >= 1
+    assert out["wire_a"].get("retransmit", 0) >= 1
+    # recovery is complete: exactly-once, in-order, payloads intact
+    assert out["tids"] == list(range(6))
+    assert out["blobs"] == out["sent_blobs"]
+
+
+def test_truncate_detected_and_recovered():
+    out = _run_adversary_scenario("net:truncate,nth=1")
+    assert out["injected"].get("net.truncate", 0) >= 1
+    assert out["wire_b"].get("crc_rejected", 0) >= 1
+    assert out["tids"] == list(range(6))
+    assert out["blobs"] == out["sent_blobs"]
+
+
+def test_duplicate_suppressed():
+    out = _run_adversary_scenario("net:dup,nth=1")
+    assert out["injected"].get("net.dup", 0) >= 1
+    assert out["wire_b"].get("dup_suppressed", 0) >= 1
+    assert out["tids"] == list(range(6))
+
+
+def test_reorder_restored_in_order():
+    out = _run_adversary_scenario("net:reorder,nth=1")
+    assert out["injected"].get("net.reorder", 0) >= 1
+    # the held-back frame forced a gap on the receiver
+    assert out["wire_b"].get("gap", 0) >= 1
+    assert out["tids"] == list(range(6))
+    assert out["blobs"] == out["sent_blobs"]
+
+
+def test_jitter_delivers_everything():
+    out = _run_adversary_scenario("net:jitter,p=1,delay=0.002")
+    assert out["injected"].get("net.jitter", 0) >= 1
+    assert sorted(out["tids"]) == list(range(6))
+    assert set(out["blobs"]) == set(out["sent_blobs"])
+
+
+@pytest.mark.parametrize("faults", [
+    "net:corrupt,p=0.5",
+    "net:dup,p=0.5;net:reorder,p=0.3",
+    "net:corrupt,p=0.3;net:truncate,p=0.2;net:jitter,p=0.3,delay=0.001",
+])
+def test_adversary_runs_are_deterministic(faults):
+    first = _run_adversary_scenario(faults, seed=7)
+    second = _run_adversary_scenario(faults, seed=7)
+    assert _replayable(first) == _replayable(second)
+
+
+def test_adversary_stream_is_isolated_from_other_specs():
+    """The adversary draws from its own derived stream: adding an
+    unrelated (unattached) spec to the plan must not shift a single
+    adversary decision."""
+    alone = _run_adversary_scenario("net:corrupt,p=0.5", seed=7)
+    mixed = _run_adversary_scenario("dma,p=0.5;net:corrupt,p=0.5", seed=7)
+    assert alone["injected"].get("net.corrupt") == \
+        mixed["injected"].get("net.corrupt")
+    assert alone["tids"] == mixed["tids"]
+    assert alone["now"] == mixed["now"]
+
+
+# ------------------------------------------------------------ reconnect edges
+
+
+def _half_open_run():
+    """Receiver restarts silently mid-stream; the sender's next frame
+    lands with a 40-deep sequence gap on a peer with no history, which
+    must resolve as a *session* reset (drop queued history, fresh
+    epoch), not a replay of 40 stale frames."""
+    env = Environment()
+    a, b = build_pair(env)
+    sink = RecordingDispatcher()
+    b.register_dispatcher(sink)
+    _send_ops(a, 40)
+    env.run(until=0.5)
+    b.shutdown()
+    b.startup()
+    # the probe lands mid-stream on a peer with empty rx state and is
+    # sacrificed to the session reset (message-level retry owns it)
+    _send_ops(a, 1, start=100)
+    env.run(until=0.7)
+    _send_ops(a, 4, start=200)
+    env.run(until=1.5)
+    return env, a, b, sink
+
+
+def test_half_open_connection_recovers():
+    env, a, b, sink = _half_open_run()
+    assert b.wire_stats.get("reset_requested", 0) >= 1
+    assert a.wire_stats.get("reset", 0) >= 1
+    # pre-restart history was dropped, not resurrected
+    assert a.wire_stats.get("session_drop", 0) >= 1
+    tids = [m.tid for m in sink.received]
+    assert tids[:40] == list(range(40))
+    # post-reset traffic flows on the fresh epoch; nothing re-dispatched
+    assert tids[40:] == [200, 201, 202, 203]
+    assert len(tids) == len(set(tids))
+
+
+def test_half_open_recovery_is_deterministic():
+    runs = []
+    for _ in range(2):
+        env, a, b, sink = _half_open_run()
+        runs.append((
+            [m.tid for m in sink.received],
+            dict(a.wire_stats), dict(b.wire_stats), env.now,
+        ))
+    assert runs[0] == runs[1]
+
+
+def _dup_across_reconnect_run():
+    """A frame captured before a connection reset is replayed after it:
+    the stale-epoch copy must be dropped, not re-dispatched."""
+    env = Environment()
+    a, b = build_pair(env)
+    sink = RecordingDispatcher()
+    b.register_dispatcher(sink)
+    _send_ops(a, 3)
+    env.run(until=0.5)
+    conn = a.connect("b")
+    live = next(iter(conn._resend.values()))
+    # snapshot the wire image before reset() renumbers the live frame
+    stale = WireFrame(live.seq, live.epoch, live.crc, live.bl,
+                      live.attachment, live.wire, None)
+    conn.reset()
+    env.run(until=0.7)
+    b._enqueue_incoming("a", stale, stale.bl)
+    _send_ops(a, 3, start=10)
+    env.run(until=1.5)
+    return env, a, b, sink
+
+
+def test_duplicate_frame_straddling_reconnect_dropped():
+    env, a, b, sink = _dup_across_reconnect_run()
+    assert b.wire_stats.get("stale_drop", 0) >= 1
+    assert b.wire_stats.get("reset_seen", 0) >= 1
+    tids = [m.tid for m in sink.received]
+    # original batch, the reset's in-flight resend of the same batch
+    # (absorbed upstream by message-level tids), then the new batch —
+    # the straddling stale frame itself was never re-dispatched
+    assert tids == [0, 1, 2, 0, 1, 2, 10, 11, 12]
+
+
+def test_duplicate_across_reconnect_deterministic():
+    runs = []
+    for _ in range(2):
+        env, a, b, sink = _dup_across_reconnect_run()
+        runs.append((
+            [m.tid for m in sink.received],
+            dict(a.wire_stats), dict(b.wire_stats), env.now,
+        ))
+    assert runs[0] == runs[1]
+
+
+class _CaptureEndpoint:
+    """Directory stand-in that records frames instead of receiving."""
+
+    def __init__(self):
+        self.frames = []
+
+    def _enqueue_incoming(self, src_addr, frame, bl):
+        self.frames.append((frame, bl))
+
+
+def _deep_reorder_run(depth=8):
+    """Deliver ``depth`` in-flight frames in full reverse order (the
+    sender is gone, so no retransmission can help): the reorder buffer
+    alone must restore the stream."""
+    env = Environment()
+    a, b = build_pair(env)
+    sink = RecordingDispatcher()
+    b.register_dispatcher(sink)
+    capture = _CaptureEndpoint()
+    a.directory._endpoints["b"] = capture
+    _send_ops(a, depth)
+    env.run(until=0.5)
+    a.directory._endpoints["b"] = b
+    assert len(capture.frames) == depth
+    # sender dies: nacks find no live connection, so nothing is resent
+    a.shutdown()
+    for frame, bl in reversed(capture.frames):
+        b._enqueue_incoming("a", frame, bl)
+    env.run(until=1.5)
+    return env, a, b, sink
+
+
+def test_reorder_window_covers_in_flight_depth():
+    env, a, b, sink = _deep_reorder_run(depth=8)
+    tids = [m.tid for m in sink.received]
+    # exactly once each, restored to send order
+    assert tids == list(range(8))
+    assert b.wire_stats.get("gap", 0) >= 7
+
+
+def test_deep_reorder_deterministic():
+    runs = []
+    for _ in range(2):
+        env, a, b, sink = _deep_reorder_run(depth=8)
+        runs.append((
+            [m.tid for m in sink.received],
+            dict(a.wire_stats), dict(b.wire_stats), env.now,
+        ))
+    assert runs[0] == runs[1]
+
+
+# ------------------------------------------------------------ defense proof
+
+
+def test_verification_disabled_lets_corruption_through():
+    """Test-only hook: with CRC verification off, the corrupt adversary
+    delivers a swapped payload — proving the check is load-bearing."""
+    try:
+        AsyncMessenger.verify_frames = False
+        out = _run_adversary_scenario("net:corrupt,nth=1")
+    finally:
+        AsyncMessenger.verify_frames = True
+    assert out["wire_b"].get("crc_rejected", 0) == 0
+    # some dispatched payload is no longer the blob that was sent
+    assert out["blobs"] != out["sent_blobs"]

@@ -81,6 +81,36 @@ def test_recovery_noop_on_healthy_cluster():
         assert osd.recovery.objects_recovered == 0
 
 
+def test_recovery_refuses_credit_on_incomplete_push_manifest():
+    """The 'last' marker names every object its stream pushed; a puller
+    that never received one of them (the wire layer consumed the data
+    frame while the marker survived) must abort the episode for re-pull
+    instead of crediting itself a full copy with a hole in it."""
+    profile = HardwareProfile(storage_nodes=3, pg_num=4)
+    env, c = boot_cluster(build_baseline_cluster, profile)
+    write_objects(env, c, ["obj-a"])
+    osd = c.osds[0]
+    rec = osd.recovery
+    pgid = next(iter(osd.osdmap.all_pgs(BENCH_POOL)))
+    addr = c.osds[1].messenger.address
+    before = rec.pulls_retried
+
+    # stream delivered obj-a but the manifest says obj-b was sent too
+    rec._pull_pending[pgid] = {addr: (1, True, 5)}
+    rec._recv_names[pgid] = {addr: {"obj-a"}}
+    rec._complete_source(pgid, addr, skipped=(), pushed=("obj-a", "obj-b"))
+    assert pgid not in rec._pull_pending
+    assert rec.pulls_retried == before + 1
+    assert not rec._pulled_full.get(pgid, False)
+
+    # the same episode with a fully-received manifest completes normally
+    rec._pull_pending[pgid] = {addr: (1, True, 5)}
+    rec._recv_names[pgid] = {addr: {"obj-a", "obj-b"}}
+    rec._complete_source(pgid, addr, skipped=(), pushed=("obj-a", "obj-b"))
+    assert pgid not in rec._pull_pending
+    assert rec.pulls_retried == before + 1
+
+
 def test_recovery_on_doceph_cluster_uses_dpu():
     """Recovery traffic flows through the DPU messenger and the proxy
     (host CPU stays out of the data path)."""
