@@ -46,6 +46,7 @@ __all__ = [
     "experiment_fig10",
     "experiment_fallback",
     "experiment_chaos",
+    "experiment_qos",
     "run_comparison_sweep",
     "PAPER",
 ]
@@ -398,3 +399,45 @@ def experiment_chaos(
         )
         for seed in seeds
     ]
+
+
+def experiment_qos(
+    strategies: tuple[str, ...] = ("baseline", "tcp-only", "full-osd",
+                                   "zero-copy"),
+    tenant_counts: tuple[int, ...] = (8,),
+    seed: int = 0,
+    duration: float = 10.0,
+):
+    """The QoS crossover map: {strategy × tenant count × op size × rate}.
+
+    Two operating points per cell bracket the crossover found
+    empirically: *small* (4 KB, high rate) makes the OSD op queue the
+    contended stage, so mClock weights split spare capacity; *large*
+    (64 KB, moderate rate) shifts contention into the messaging path —
+    upstream of the scheduler — where strategies differ by up to ~4x
+    aggregate goodput (DPU ingress vs host ingress) and weights level
+    out.  Returns ``{(strategy, tenants, label): QosResult}``.
+    """
+    # Imported lazily: repro.qos imports back into repro.bench
+    # (metrics/reporting), and this module is loaded from
+    # ``bench/__init__`` — a top-level import here would cycle.
+    from ..qos import default_tenants, run_qos
+
+    KB = 1024
+    points = {
+        # label: (object_size, per-tenant offered rate, reservation)
+        "small": (4 * KB, 1500.0, 100.0),
+        "large": (64 * KB, 250.0, 25.0),
+    }
+    results = {}
+    for strategy in strategies:
+        for count in tenant_counts:
+            for label, (size, rate, reservation) in points.items():
+                specs = default_tenants(
+                    count, reservation=reservation, rate=rate,
+                    object_size=size,
+                )
+                results[(strategy, count, label)] = run_qos(
+                    strategy, specs, seed=seed, duration=duration,
+                )
+    return results

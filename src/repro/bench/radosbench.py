@@ -1,11 +1,13 @@
 """RADOS bench: the paper's workload generator (§5.1).
 
-Write-only pattern: ``clients`` concurrent I/O contexts each keep one
-request outstanding, writing uniquely-named objects of ``object_size``
-bytes for ``duration`` seconds after a warm-up.  Latency is the
-end-to-end client-observed response time; IOPS is completed writes per
-second; both are also recorded as per-second series, matching RADOS
-bench's built-in instrumentation.
+Closed-loop pattern: ``clients`` concurrent I/O contexts each keep one
+request outstanding for ``duration`` seconds after a warm-up.  Three op
+modes: ``write`` (the paper's workload — uniquely-named objects of
+``object_size`` bytes), ``randread`` (uniform random reads over a
+prepopulated object set), and ``mixed`` (a seeded read/write coin at
+``read_ratio``).  Latency is the end-to-end client-observed response
+time; IOPS is completed ops per second; both are also recorded as
+per-second series, matching RADOS bench's built-in instrumentation.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from typing import Any, Generator, Optional
 
 from ..cluster.builder import BENCH_POOL, Cluster
 from ..core.proxy_objectstore import ProxyObjectStore, WriteBreakdown
+from ..util.rng import SeededRng
 from ..util.stats import RunningStats, TimeSeries, percentile
 from ..util.wallclock import perf_counter
 from .metrics import (
@@ -98,12 +101,24 @@ def run_rados_bench(
     duration: float = 30.0,
     warmup: float = 3.0,
     op: str = "write",
+    read_ratio: float = 0.5,
+    prepopulate: int = 64,
+    seed: int = 0,
 ) -> BenchResult:
     """Boot the cluster (if needed) and run one bench configuration.
+
+    ``op`` selects the workload: ``write`` (paper default), ``randread``
+    (uniform reads over ``prepopulate`` pre-written objects), or
+    ``mixed`` (seeded coin: read with probability ``read_ratio``, else
+    write).  The ``write`` path draws no RNG and prepopulates nothing,
+    so its event schedule — and every golden digest built on it — is
+    byte-identical to the write-only harness.
 
     The simulation runs until every in-flight request issued inside the
     measurement window completes, so latency tails are never truncated.
     """
+    if op not in ("write", "randread", "mixed"):
+        raise ValueError(f"unknown op: {op}")
     env = cluster.env
     client = cluster.client
     assert client is not None
@@ -113,6 +128,19 @@ def run_rados_bench(
     if client.osdmap is None:
         boot = env.process(cluster.boot(), name="cluster-boot")
         env.run(until=boot)
+
+    rng = None
+    if op != "write":
+        rng = SeededRng(seed).child("bench").stream(op)
+
+        def prep() -> Generator[Any, Any, None]:
+            for i in range(prepopulate):
+                yield from client.write_object(
+                    BENCH_POOL, f"bench_pre_{i}", object_size
+                )
+
+        p = env.process(prep(), name="bench-prepopulate")
+        env.run(until=p)
 
     # reset any breakdown history from earlier runs
     for osd in cluster.osds:
@@ -137,8 +165,15 @@ def run_rados_bench(
                 result = yield from client.write_object(
                     BENCH_POOL, oid, object_size
                 )
+            elif op == "randread" or rng.random() < read_ratio:
+                result = yield from client.read_object(
+                    BENCH_POOL, f"bench_pre_{rng.randrange(prepopulate)}",
+                    object_size,
+                )
             else:
-                raise ValueError(f"unknown op: {op}")
+                result = yield from client.write_object(
+                    BENCH_POOL, oid, object_size
+                )
             if issued >= t_open:
                 latencies.append(result.latency)
                 lat_stats.add(result.latency)

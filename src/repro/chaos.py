@@ -50,6 +50,7 @@ __all__ = [
     "ChaosReport",
     "DurabilityChecker",
     "chaos_profile",
+    "collect_qos_incidents",
     "collect_wire_incidents",
     "run_chaos",
 ]
@@ -389,6 +390,10 @@ class ChaosReport:
     #: aggregated messenger wire-integrity counters (crc_rejected,
     #: dup_suppressed, retransmit, reset, ...) across every endpoint
     wire_incidents: dict[str, int] = field(default_factory=dict)
+    #: aggregated QoS-plane counters when the run was multi-tenant
+    #: (mClock phase counts, limit deferrals, admission sheds) — all
+    #: zero / empty for single-tenant runs
+    qos_incidents: dict[str, int] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -425,6 +430,7 @@ class ChaosReport:
             },
             "health": self.health,
             "wire_incidents": dict(sorted(self.wire_incidents.items())),
+            "qos_incidents": dict(sorted(self.qos_incidents.items())),
         }
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -448,7 +454,21 @@ class ChaosReport:
             "fingerprint": self.fingerprint(),
             "health": self.health,
             "wire_incidents": dict(sorted(self.wire_incidents.items())),
+            "qos_incidents": dict(sorted(self.qos_incidents.items())),
         }
+
+
+def collect_qos_incidents(cluster: Cluster) -> dict[str, int]:
+    """Sum the QoS-plane counters: every OSD queue's mClock stats plus
+    the client's admission sheds.  All zeros when QoS was never
+    configured (the counters still exist on every queue)."""
+    totals: dict[str, int] = {}
+    for osd in cluster.osds:
+        for key, count in osd.qos_stats().items():
+            totals[key] = totals.get(key, 0) + count
+    if cluster.client is not None:
+        totals["ops_shed"] = getattr(cluster.client, "ops_shed", 0)
+    return totals
 
 
 def collect_wire_incidents(cluster: Cluster) -> dict[str, int]:
@@ -513,6 +533,7 @@ def run_chaos(
     tracer: Any = None,
     fault_plan: Any = None,
     think_time: float = 0.0,
+    tenants: int = 0,
 ) -> ChaosReport:
     """One full chaos experiment: boot, write under a seeded schedule of
     crashes and partitions, heal, then verify every acked write.
@@ -526,7 +547,15 @@ def run_chaos(
     the plan object afterwards.  ``think_time`` inserts a fixed pause
     between consecutive writes of each I/O context (open-loop-ish
     pacing); the default ``0.0`` preserves the original closed-loop
-    event sequence byte-for-byte."""
+    event sequence byte-for-byte.
+
+    ``tenants`` > 0 turns the run multi-tenant: each I/O context is
+    tagged ``t{idx % tenants}``, every OSD gets a modest per-tenant
+    mClock spec, and a deliberately tight admission window is attached
+    so overload sheds (``-EAGAIN``) actually fire under chaos — those
+    land in :attr:`ChaosReport.qos_incidents` for the fuzzer's
+    ``qos.*`` coverage keys.  The default ``0`` installs nothing and
+    keeps the event sequence byte-identical to pre-QoS runs."""
     profile = profile or chaos_profile(mode)
     env = Environment()
     if mode == "doceph":
@@ -547,6 +576,30 @@ def run_chaos(
     controller = ChaosController(
         cluster, seed=seed, crashes=crashes, partitions=partitions,
     )
+
+    tenant_names: list[Optional[str]] = [None] * clients
+    if tenants > 0:
+        # Lazy imports: repro.qos pulls in the bench stack, which this
+        # module otherwise only touches at report-collection time.
+        from .osd.opqueue import QosSpec
+        from .qos.admission import AdmissionController
+
+        tenant_names = [f"t{i % tenants}" for i in range(clients)]
+        n_osds = len(cluster.osds)
+        admission = AdmissionController()
+        for t in range(tenants):
+            spec = QosSpec(
+                reservation=5.0 / n_osds,
+                weight=float(1 + t % 4),
+                limit=50.0 / n_osds,
+            )
+            for osd in cluster.osds:
+                osd.set_qos(f"t{t}", spec)
+            # Window of 1 per tenant: any overlap between contexts
+            # sharing a tenant (or a slow op under faults) sheds.
+            admission.set_window(f"t{t}", 1)
+        client.admission = admission
+
     bound = _client_latency_bound(profile)
     t_end = env.now + duration
     failed = [0]
@@ -560,10 +613,19 @@ def run_chaos(
             blob = DataBlob(object_size)
             try:
                 res = yield from client.write_object(
-                    BENCH_POOL, oid, object_size, data=blob
+                    BENCH_POOL, oid, object_size, data=blob,
+                    tenant=tenant_names[idx],
                 )
-            except RadosError:
-                failed[0] += 1
+            except RadosError as exc:
+                # Admission sheds (-EAGAIN) are a QoS outcome, not an
+                # I/O failure — the client's ops_shed counter carries
+                # them into qos_incidents.  The gate raises before any
+                # sim yield, so back off for a beat or the closed loop
+                # would retry forever at the same simulated instant.
+                if exc.result == -11:
+                    yield env.timeout(0.001)
+                else:
+                    failed[0] += 1
             else:
                 max_latency[0] = max(max_latency[0], res.latency)
                 checker.record(oid, object_size, blob, res.version, env.now)
@@ -616,4 +678,5 @@ def run_chaos(
         },
         health=health,
         wire_incidents=collect_wire_incidents(cluster),
+        qos_incidents=collect_qos_incidents(cluster) if tenants else {},
     )

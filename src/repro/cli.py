@@ -11,6 +11,8 @@ Usage::
     python -m repro fuzz --seed 0 --iterations 25 --corpus corpus
     python -m repro fuzz --replay corpus/crash-missing-0123abcd.plan
     python -m repro trace --mode doceph --size 1M --out trace.json --replay
+    python -m repro qos --strategy full-osd --tenants 8 --rate 250 --replay
+    python -m repro qos --sweep --strategies baseline,full-osd
     python -m repro fig8 --duration 20     # longer, steadier runs
 
 Each experiment prints the paper-vs-measured table that the benchmark
@@ -53,7 +55,11 @@ from .bench import (
     run_comparison_sweep,
     run_rados_bench,
 )
-from .cluster import build_baseline_cluster, build_doceph_cluster
+from .cluster import (
+    STRATEGY_NAMES,
+    build_baseline_cluster,
+    build_doceph_cluster,
+)
 from .faults import FaultPlan
 from .hw import StorageError
 from .sim import Environment
@@ -511,6 +517,98 @@ def _cmd_fuzz(args: argparse.Namespace) -> tuple[str, int]:
     return "\n".join(lines), 0
 
 
+def _render_qos(result) -> str:
+    from .bench.reporting import format_table
+
+    rows = []
+    for spec, st in zip(result.specs, result.tenants):
+        goodput = st.completed / result.duration
+        attain = (f"{goodput / spec.qos.reservation:.2f}"
+                  if spec.qos.reservation else "-")
+        rows.append([
+            spec.name, spec.arrival,
+            f"{st.offered / result.duration:.1f}",
+            f"{goodput:.1f}",
+            f"{spec.qos.reservation:g}",
+            attain,
+            f"{spec.qos.weight:g}",
+            f"{spec.qos.limit:g}" if spec.qos.limit else "-",
+            str(st.shed),
+            f"{st.lat_stats.mean * 1e3:.1f}" if st.latencies else "-",
+        ])
+    table = format_table(
+        ["tenant", "arrival", "offered/s", "goodput/s", "resv/s",
+         "attain", "weight", "limit/s", "shed", "lat ms"],
+        rows,
+        title=(f"qos — strategy={result.strategy} seed={result.seed}"
+               f" duration={result.duration:g}s"),
+    )
+    summary = (
+        f"aggregate goodput {result.bench.iops:.1f} IOPS,"
+        f" overload {result.overload_factor:.2f}x,"
+        f" Jain {result.jain_goodput:.3f}"
+        f" (weighted {result.jain_weighted_goodput:.3f}),"
+        f" queue {json.dumps(result.queue_stats, sort_keys=True)}"
+    )
+    return table + "\n" + summary
+
+
+def _cmd_qos(args: argparse.Namespace) -> tuple[str, int]:
+    """Multi-tenant open-loop QoS run (repro.qos).
+
+    Returns (report text, exit code): 3 when ``--replay`` finds a
+    fingerprint mismatch between two runs of the same seed."""
+    from .bench import experiment_qos
+    from .qos import default_tenants, qos_payload, run_qos
+
+    if args.sweep:
+        strategies = tuple(
+            s.strip() for s in args.strategies.split(",") if s.strip()
+        )
+        results = experiment_qos(
+            strategies=strategies, tenant_counts=(args.tenants,),
+            seed=args.seed, duration=args.duration,
+        )
+        lines = []
+        payload_points = []
+        for (strategy, count, label), res in results.items():
+            point = qos_payload(res)
+            point["tenant_count"] = count
+            point["point"] = label
+            payload_points.append(point)
+            lines.append(
+                f"{strategy:9s} {label:5s} tenants={count}"
+                f" goodput={res.bench.iops:8.1f} IOPS"
+                f" overload={res.overload_factor:5.2f}x"
+                f" jain_w={res.jain_weighted_goodput:.3f}"
+                f" shed={sum(st.shed for st in res.tenants)}"
+            )
+        _publish(args, "qos_crossover", {"points": payload_points})
+        return "\n".join(lines), 0
+
+    specs = default_tenants(
+        args.tenants, reservation=args.reservation, rate=args.rate,
+        object_size=args.size, window=args.window,
+    )
+    result = run_qos(
+        args.strategy, specs, seed=args.seed, duration=args.duration,
+    )
+    lines = [_render_qos(result), f"fingerprint: {result.fingerprint}"]
+    code = 0
+    if args.replay:
+        rerun = run_qos(
+            args.strategy, specs, seed=args.seed, duration=args.duration,
+        )
+        if rerun.fingerprint == result.fingerprint:
+            lines.append("replay: identical fingerprint")
+        else:
+            lines.append(f"replay: MISMATCH {rerun.fingerprint}"
+                         " — NON-DETERMINISTIC")
+            code = 3
+    _publish(args, f"qos_{args.strategy}", qos_payload(result))
+    return "\n".join(lines), code
+
+
 def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
     """Static analysis + optional dynamic tie-order probe.
 
@@ -713,6 +811,39 @@ def build_parser() -> argparse.ArgumentParser:
                            "queue, shrunk signatures, session history)")
     add_json_opts(fuzz)
 
+    qos = sub.add_parser(
+        "qos", help="multi-tenant open-loop serving under mClock QoS: "
+                    "per-tenant reservations/weights/limits, admission "
+                    "control, fairness metrics (exit 3 on --replay "
+                    "fingerprint mismatch)")
+    qos.add_argument("--strategy", choices=list(STRATEGY_NAMES),
+                     default="full-osd",
+                     help="offload strategy to serve the tenants with")
+    qos.add_argument("--tenants", type=int, default=8,
+                     help="tenant count (mixed personalities: weights "
+                          "cycle 1-4, one bursty, one limit-capped)")
+    qos.add_argument("--rate", type=float, default=250.0,
+                     help="offered open-loop ops/s per tenant")
+    qos.add_argument("--reservation", type=float, default=25.0,
+                     help="reserved aggregate ops/s per tenant")
+    qos.add_argument("--size", type=_parse_size, default=64 << 10,
+                     help="object size (e.g. 4K, 64K)")
+    qos.add_argument("--window", type=int, default=64,
+                     help="per-tenant admission window (max in-flight)")
+    qos.add_argument("--seed", type=int, default=0,
+                     help="workload seed (same seed => same fingerprint)")
+    qos.add_argument("--duration", type=float, default=10.0,
+                     help="open-loop arrival window, simulated seconds")
+    qos.add_argument("--replay", action="store_true",
+                     help="run twice and require identical fingerprints")
+    qos.add_argument("--sweep", action="store_true",
+                     help="run the strategy crossover sweep "
+                          "(experiment_qos) instead of one configuration")
+    qos.add_argument("--strategies", default=",".join(STRATEGY_NAMES),
+                     metavar="A,B,...",
+                     help="strategies for --sweep")
+    add_json_opts(qos)
+
     lint = sub.add_parser(
         "lint", help="determinism & sim-safety static analysis "
                      "(repro.lint; exit 3 on findings not in the baseline)")
@@ -768,6 +899,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(text)
             if code:
                 return code  # 3 = violation found / corpus regression
+        elif args.command == "qos":
+            text, code = _cmd_qos(args)
+            print(text)
+            if code:
+                return code  # 3 = replay fingerprint mismatch
         elif args.command == "lint":
             text, code = _cmd_lint(args)
             print(text)

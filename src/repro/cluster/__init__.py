@@ -1,4 +1,4 @@
-"""Cluster assembly and calibrated hardware profiles."""
+"""Cluster assembly, calibrated hardware profiles, offload strategies."""
 
 from .builder import (
     BENCH_POOL,
@@ -7,6 +7,12 @@ from .builder import (
     build_doceph_cluster,
 )
 from .config import DocephProfile, GIGABIT, HUNDRED_GIG, HardwareProfile
+from .strategy import (
+    STRATEGY_NAMES,
+    OffloadStrategy,
+    all_strategies,
+    get_strategy,
+)
 
 __all__ = [
     "BENCH_POOL",
@@ -15,6 +21,10 @@ __all__ = [
     "GIGABIT",
     "HUNDRED_GIG",
     "HardwareProfile",
+    "OffloadStrategy",
+    "STRATEGY_NAMES",
+    "all_strategies",
     "build_baseline_cluster",
     "build_doceph_cluster",
+    "get_strategy",
 ]

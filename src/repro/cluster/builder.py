@@ -182,8 +182,9 @@ def _build_client(
     cpu = CpuComplex(env, "client.cpu", cores=profile.client_cores)
     nic = Nic(env, "client.nic", bandwidth_bps=profile.net_bandwidth)
     network.attach("client", nic)
+    client_tcp = getattr(profile, "client_tcp", None) or profile.tcp
     stack = NetStack(cpu=cpu, nic=nic, network=network, address="client",
-                     tcp=profile.tcp)
+                     tcp=client_tcp)
     messenger = AsyncMessenger(
         stack, "client", directory, workers=profile.msgr_workers,
         cost=profile.msgr_cost,

@@ -85,6 +85,12 @@ class HardwareProfile:
     """Kernel TCP stack costs (identical model on host and DPU; the DPU
     pays more wall-time for them through its perf factor)."""
 
+    client_tcp: TcpStackModel | None = None
+    """Override for the *client* node's TCP stack.  Offload strategies
+    (``repro.cluster.strategy``) rewrite ``tcp`` to model the storage
+    side; setting ``client_tcp`` pins the client's costs so strategy
+    comparisons vary only the storage nodes.  ``None`` = use ``tcp``."""
+
     msgr_cost: MessengerCostModel = field(
         default_factory=lambda: MessengerCostModel(
             encode_fixed=40.0e-6, decode_fixed=55.0e-6,
@@ -236,3 +242,8 @@ class DocephProfile(HardwareProfile):
     """Injected per-transfer DMA failure probability (robustness tests).
     Shorthand for a fault plan of ``dma,p=<rate>`` seeded with
     ``fault_seed``; ignored when ``fault_plan`` is set."""
+
+    zero_copy: bool = False
+    """Skip the DPU-side staging memcpy into DMA-able buffers (Palladium-
+    style zero-copy fabric: NIC buffers are DMA-registered, so requests
+    move host↔DPU without a bounce-buffer copy charge)."""

@@ -165,6 +165,7 @@ class DmaPipeline:
         pipelined: bool = True,
         completion_thread: Optional[SimThread] = None,
         region_side: str = "dpu",
+        zero_copy: bool = False,
     ) -> None:
         if n_buffers < 1:
             raise ValueError("need at least one staging buffer")
@@ -179,6 +180,7 @@ class DmaPipeline:
         self.segment_bytes = segment_bytes
         self.pipelined = pipelined
         self.completion_thread = completion_thread
+        self.zero_copy = zero_copy
 
         self._buffers: Store = Store(env)
         for _ in range(n_buffers):
@@ -291,6 +293,12 @@ class DmaPipeline:
         span: Any = None,
     ) -> Generator[Any, Any, None]:
         """memcpy ``seg`` bytes into the staging buffer."""
+        if self.zero_copy:
+            # Palladium-style zero-copy fabric: the wire buffer is
+            # already DMA-registered, so no bounce-buffer copy charge.
+            if span is not None:
+                span.event(self.env.now, "staged")
+            return
         wall = seg / self.memcpy_bandwidth
         # charge() takes reference-CPU work; convert so the copy's wall
         # time is exactly seg / memcpy_bandwidth on this complex.

@@ -118,6 +118,7 @@ class ProxyObjectStore(ObjectStore):
             pipelined=pipelined,
             completion_thread=server.poll_thread,
             region_side="dpu",
+            zero_copy=getattr(profile, "zero_copy", False),
         )
         # Reverse direction (read returns): staging buffers on the host
         # side, staged by host CPU at host memcpy rates (§3.3 symmetry).
@@ -133,6 +134,7 @@ class ProxyObjectStore(ObjectStore):
             pipelined=pipelined,
             completion_thread=self._stage_thread,
             region_side="host",
+            zero_copy=getattr(profile, "zero_copy", False),
         )
         server.read_pipeline = self.read_pipeline
 

@@ -110,6 +110,12 @@ def _coverage_keys(
         for wire_key, count in report.wire_incidents.items():
             if count:
                 keys.add(f"wire.{wire_key}")
+        # QoS-plane incidents (multi-tenant scenarios only): admission
+        # sheds, mClock limit throttling, reservation-phase service.
+        # Zero counters stay silent, mirroring the wire.* convention.
+        for qos_key, count in report.qos_incidents.items():
+            if count:
+                keys.add(f"qos.{qos_key}")
     if aborted:
         keys.add("abort." + aborted.split(":", 1)[0])
     return frozenset(keys)
@@ -142,6 +148,7 @@ def execute_scenario(
             tracer=tracer,
             fault_plan=plan,
             think_time=scenario.think_time,
+            tenants=scenario.tenants,
         )
     except StorageError as exc:
         aborted = f"storage: {exc}"

@@ -37,6 +37,10 @@ _THINKS = (0.05, 0.1, 0.2)
 _MAX_CLIENTS = 2
 _MAX_CRASHES = 2
 _MAX_PARTITIONS = 1
+#: Multi-tenant draws stay small (0 = single-tenant dominates) — QoS
+#: machinery only changes the schedule when tenants > 0, and a tenant
+#: count at or below the client count guarantees slot contention.
+_TENANT_CHOICES = (0, 0, 0, 1, 2)
 _MAX_SPECS = 3
 _SEED_SPACE = 1 << 12
 
@@ -49,7 +53,8 @@ TARGET_KEYS: tuple[str, ...] = tuple(
      for layer in sorted(FAULT_KINDS)
      for kind in FAULT_KINDS[layer]]
     + ["chaos.crash", "chaos.partition", "mode.baseline", "mode.doceph",
-       "client.op_failed", "span.error", "span.retry"]
+       "client.op_failed", "span.error", "span.retry",
+       "qos.ops_shed", "qos.limit_deferrals"]
 )
 
 #: dma engines and the host<->DPU RPC channel only exist in the DoCeph
@@ -83,6 +88,7 @@ class ScenarioGenerator:
             partitions=rng.randint(0, _MAX_PARTITIONS),
             chaos_seed=rng.randrange(_SEED_SPACE),
             fault_seed=rng.randrange(_SEED_SPACE),
+            tenants=rng.choice(_TENANT_CHOICES),
             specs=specs,
         )
 
@@ -179,6 +185,11 @@ class ScenarioGenerator:
             return parent.with_(partitions=max(1, parent.partitions))
         if key.startswith("mode."):
             return parent.with_(mode=key.split(".", 1)[1])
+        if key.startswith("qos."):
+            # Sheds need two contexts sharing a tenant (window is 1 per
+            # tenant); deferrals need offered load above the per-tenant
+            # limit — both are most likely with everyone on one tenant.
+            return parent.with_(tenants=1, clients=_MAX_CLIENTS)
         # client.op_failed / span.error / span.retry: pressure the retry
         # machinery — heavy reply loss plus at least one crash.
         spec = FaultSpec(
@@ -196,7 +207,7 @@ class ScenarioGenerator:
         op = rng.choice([
             "clients", "size", "duration", "think", "crashes",
             "partitions", "chaos_seed", "fault_seed", "mode",
-            "add_spec", "drop_spec",
+            "tenants", "add_spec", "drop_spec",
         ])
         if op == "clients":
             return parent.with_(clients=rng.randint(1, _MAX_CLIENTS))
@@ -218,6 +229,8 @@ class ScenarioGenerator:
             return parent.with_(
                 mode="doceph" if parent.mode == "baseline" else "baseline"
             )
+        if op == "tenants":
+            return parent.with_(tenants=rng.choice(_TENANT_CHOICES))
         if op == "add_spec":
             spec = self._random_spec(parent.mode)
             return parent.with_(

@@ -1,7 +1,8 @@
 """Scenario tuples: what one fuzz execution runs, and how it is stored.
 
 A :class:`Scenario` is the fuzzer's unit of search: a workload shape
-(mode, clients, object size, duration, think time), a chaos schedule
+(mode, clients, object size, duration, think time, tenant count), a
+chaos schedule
 (crash/partition counts + the chaos seed that draws the incident
 timing), and a :class:`~repro.faults.FaultSpec` list with its own fault
 seed.  Everything simulated is a pure function of the scenario, so a
@@ -11,7 +12,7 @@ The corpus format is plain text — a small ``key=value`` header plus the
 PR-1 textual FaultPlan line — so a shrunk violation can be read, diffed
 and replayed by hand::
 
-    # repro.fuzz scenario v1
+    # repro.fuzz scenario v2
     mode=baseline
     clients=1
     size=1048576
@@ -21,10 +22,15 @@ and replayed by hand::
     partitions=0
     chaos_seed=17
     fault_seed=3
+    tenants=0
     faults=rpc:reply_loss,p=0.2;net:degrade,window=1-3,factor=4
 
 Lines starting with ``#`` are comments (the fuzzer records the violation
 signature there); a missing/empty ``faults=`` line means no fault plan.
+
+Format v2 added the ``tenants`` line (multi-tenant QoS chaos, PR 8);
+it defaults to ``0`` when absent, so every v1 corpus entry still parses
+to the identical scenario.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ __all__ = [
     "scenario_to_text",
 ]
 
-SCENARIO_FORMAT_VERSION = 1
+SCENARIO_FORMAT_VERSION = 2
 
 _MODES = ("baseline", "doceph")
 
@@ -59,6 +65,8 @@ class Scenario:
     partitions: int = 0
     chaos_seed: int = 0
     fault_seed: int = 0
+    #: QoS tenant count (0 = single-tenant, the pre-v2 behavior).
+    tenants: int = 0
     specs: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -76,6 +84,8 @@ class Scenario:
             raise ValueError(f"negative think_time: {self.think_time}")
         if self.crashes < 0 or self.partitions < 0:
             raise ValueError("crashes/partitions must be >= 0")
+        if self.tenants < 0:
+            raise ValueError(f"tenants must be >= 0, got {self.tenants}")
 
     # ------------------------------------------------------------- helpers
     @property
@@ -125,6 +135,7 @@ def scenario_to_text(
         f"partitions={scenario.partitions}",
         f"chaos_seed={scenario.chaos_seed}",
         f"fault_seed={scenario.fault_seed}",
+        f"tenants={scenario.tenants}",
         f"faults={format_fault_specs(scenario.specs)}",
     ]
     return "\n".join(lines) + "\n"
@@ -143,7 +154,7 @@ def scenario_from_text(text: str) -> Scenario:
         fields[key.strip()] = value.strip()
     unknown = sorted(set(fields) - {
         "mode", "clients", "size", "duration", "think", "crashes",
-        "partitions", "chaos_seed", "fault_seed", "faults",
+        "partitions", "chaos_seed", "fault_seed", "tenants", "faults",
     })
     if unknown:
         raise ValueError(f"unknown scenario field(s): {', '.join(unknown)}")
@@ -162,6 +173,7 @@ def scenario_from_text(text: str) -> Scenario:
             partitions=int(fields.get("partitions", "0")),
             chaos_seed=int(fields.get("chaos_seed", "0")),
             fault_seed=int(fields.get("fault_seed", "0")),
+            tenants=int(fields.get("tenants", "0")),
             specs=specs,
         )
     except ValueError:

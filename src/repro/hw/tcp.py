@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclasses_replace
 
 __all__ = ["TcpStackModel"]
 
@@ -74,6 +75,25 @@ class TcpStackModel:
     #: millions of times, so the ceil/div arithmetic runs once per size.
     _cost_cache: dict = field(default_factory=dict, init=False,
                               repr=False, compare=False)
+
+    def stack_free(self) -> "TcpStackModel":
+        """This model with all *stack-processing* terms zeroed.
+
+        Models an off-path SmartNIC terminating TCP for the host
+        (PnO-TCP): syscalls, segmentation/checksum, softirq and wakeup
+        costs disappear — the NIC runs the protocol — but the host still
+        pays the user↔kernel data copy (``copy_bandwidth`` kept), i.e.
+        data *handling* stays on the host while stack *processing*
+        moves off.  Context switches vanish with the syscalls."""
+        return dataclasses_replace(
+            self,
+            syscall_cpu=0.0,
+            segment_cpu=0.0,
+            softirq_cpu=0.0,
+            wakeup_cpu=0.0,
+            ctx_per_syscall=0,
+            ctx_per_wakeup=0,
+        )
 
     def costs(self, nbytes: int) -> tuple[float, float, int, int]:
         """``(send_cpu, recv_cpu, send_ctx, recv_ctx)`` for ``nbytes``."""

@@ -84,6 +84,7 @@ class LintConfig:
         "repro/hw/",
         "repro/msgr/",
         "repro/osd/",
+        "repro/qos/",
         "repro/util/bufferlist.py",
     )
 

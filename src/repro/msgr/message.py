@@ -168,11 +168,17 @@ class MOSDOp(Message):
     offset: int = 0
     data: Optional[DataBlob] = None
     map_epoch: int = 0
+    #: QoS tenant tag ("" = untagged).  Encoded as the 0x80 high bit of
+    #: the op byte plus a trailing string, so untagged ops keep their
+    #: exact pre-QoS wire bytes (golden digests depend on them).
+    tenant: str = ""
 
     def _encode_front(self, bl: BufferList) -> None:
         bl.encode_str(self.pool)
         bl.encode_str(self.object_name)
-        bl.encode_u8(int(self.op))
+        bl.encode_u8(int(self.op) | (0x80 if self.tenant else 0))
+        if self.tenant:
+            bl.encode_str(self.tenant)
         bl.encode_u64(self.length)
         bl.encode_u64(self.offset)
         bl.encode_u32(self.map_epoch)
@@ -186,7 +192,9 @@ class MOSDOp(Message):
     def _decode_front(cls, d: BufferDecoder, src: str, tid: int) -> "MOSDOp":
         pool = d.decode_str()
         object_name = d.decode_str()
-        op = OpType(d.decode_u8())
+        raw_op = d.decode_u8()
+        op = OpType(raw_op & 0x7F)
+        tenant = d.decode_str() if raw_op & 0x80 else ""
         length = d.decode_u64()
         offset = d.decode_u64()
         epoch = d.decode_u32()
@@ -195,6 +203,7 @@ class MOSDOp(Message):
         return cls(
             src=src, tid=tid, pool=pool, object_name=object_name, op=op,
             length=length, offset=offset, data=data, map_epoch=epoch,
+            tenant=tenant,
         )
 
     @property

@@ -8,6 +8,7 @@ from .opqueue import (
     SCRUB_OP,
     STRICT_THRESHOLD,
     SUB_OP,
+    QosSpec,
     WeightedPriorityQueue,
 )
 from .optracker import OpTracker, TrackedOp
@@ -22,6 +23,7 @@ __all__ = [
     "OsdDaemon",
     "OpTracker",
     "PlacementGroup",
+    "QosSpec",
     "RECOVERY_OP",
     "RecoveryManager",
     "SCRUB_OP",

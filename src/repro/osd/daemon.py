@@ -53,6 +53,7 @@ from .opqueue import (
     RECOVERY_OP,
     SCRUB_OP,
     SUB_OP,
+    QosSpec,
     WeightedPriorityQueue,
 )
 from .pg import PlacementGroup
@@ -148,6 +149,7 @@ class OsdDaemon:
         "rejoins",
         "misdirected_ops",
         "objects_discarded",
+        "_qos_specs",
     )
 
     def __init__(
@@ -205,6 +207,8 @@ class OsdDaemon:
         #: set once the daemon has resynced after being marked down, so
         #: a partition-rejoin (no crash) also discards its stale copies
         self._down_handled = True
+        #: tenant -> QosSpec, survives crash/restart (config, not state)
+        self._qos_specs: dict[str, QosSpec] = {}
 
         # statistics
         self.client_ops = 0
@@ -306,6 +310,22 @@ class OsdDaemon:
         self._scrub_cfg = (list(pool_names), interval)
         self.scrub = ScrubManager(self, pool_names, interval=interval)
 
+    def set_qos(self, tenant: str, spec: QosSpec) -> None:
+        """Install the mClock share for ``tenant`` on this OSD's queue
+        (persisted across crash/restart — it is configuration)."""
+        self._qos_specs[tenant] = spec
+        self._op_queue.set_tenant(tenant, spec)
+
+    def qos_stats(self) -> dict[str, int]:
+        """mClock scheduler counters (this incarnation's queue)."""
+        q = self._op_queue
+        return {
+            "tagged_enqueued": q.tagged_enqueued,
+            "reservation_served": q.reservation_served,
+            "weight_served": q.weight_served,
+            "limit_deferrals": q.limit_deferrals,
+        }
+
     # ---------------------------------------------------------------- crash
     def crash(self) -> None:
         """Kill the daemon: all sim processes stop, in-flight ops and
@@ -340,6 +360,8 @@ class OsdDaemon:
         self._op_queue = WeightedPriorityQueue(
             self.env, seed=self.osd_id + (self.incarnation << 16)
         )
+        for tenant, spec in self._qos_specs.items():
+            self._op_queue.set_tenant(tenant, spec)
 
     def restart(self) -> Generator[Any, Any, None]:
         """Boot the daemon again on its surviving ObjectStore.
@@ -464,11 +486,14 @@ class OsdDaemon:
                 )
                 span.tag("osd", self.osd_id)
                 span.tag("op", msg.op.name)
+                if msg.tenant:
+                    span.tag("tenant", msg.tenant)
                 msg.op_span = span  # type: ignore[attr-defined]
             # stage marks land on the tracked op AND as span events, so
             # the two facilities cannot drift
             _mark(msg, self.env.now, "queued_for_pg")
-            self._op_queue.enqueue(msg, CLIENT_OP)
+            self._op_queue.enqueue(msg, CLIENT_OP,
+                                   tenant=msg.tenant or None)
         elif isinstance(msg, MOSDRepOp):
             self._op_queue.enqueue(msg, SUB_OP)
         elif isinstance(msg, (MOSDPGPull, MOSDPGPush)):

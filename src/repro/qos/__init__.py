@@ -1,0 +1,31 @@
+"""repro.qos — multi-tenant open-loop serving with mClock QoS.
+
+The paper benchmarks one tenant in a closed loop; real RADOS clusters
+multiplex tenants whose offered load exceeds capacity.  This package
+adds the serving side of that story on top of the existing simulation:
+
+* :mod:`~repro.qos.tenants` — per-tenant workload + QoS specifications,
+* :mod:`~repro.qos.workload` — deterministic open-loop arrival
+  generation (seeded Poisson / bursty streams per tenant),
+* :mod:`~repro.qos.admission` — client-side admission control
+  (bounded in-flight window, ``-EAGAIN`` shedding),
+* :mod:`~repro.qos.runner` — the harness tying it together: pick an
+  offload strategy, install mClock tags on every OSD, drive the
+  tenants, and report per-tenant SLO/fairness metrics with a
+  deterministic fingerprint.
+"""
+
+from .admission import AdmissionController
+from .runner import QosResult, qos_payload, run_qos
+from .tenants import TenantSpec, default_tenants
+from .workload import TenantStats
+
+__all__ = [
+    "AdmissionController",
+    "QosResult",
+    "TenantSpec",
+    "TenantStats",
+    "default_tenants",
+    "qos_payload",
+    "run_qos",
+]

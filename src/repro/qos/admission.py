@@ -1,0 +1,71 @@
+"""Client-side admission control: bounded per-tenant in-flight windows.
+
+Open-loop arrivals do not self-limit, so under overload the client
+would otherwise queue unbounded work and every tenant's latency would
+diverge together.  The controller gives each tenant a fixed window of
+in-flight ops; arrivals beyond it are shed *before* any simulation
+event fires (:class:`~repro.rados.client.RadosClient` raises
+``-EAGAIN``), which keeps shedding free of timing side effects and
+makes goodput-vs-offered a meaningful overload metric.
+
+Duck-typed against ``RadosClient.admission``: only ``try_acquire`` and
+``release`` are called from the op path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Per-tenant in-flight window with admit/shed accounting."""
+
+    __slots__ = ("_window", "_inflight", "admitted", "shed")
+
+    def __init__(self) -> None:
+        self._window: dict[str, int] = {}
+        self._inflight: dict[str, int] = {}
+        #: Per-tenant ops admitted through the window.
+        self.admitted: dict[str, int] = {}
+        #: Per-tenant ops shed at the window.
+        self.shed: dict[str, int] = {}
+
+    def set_window(self, tenant: str, window: int) -> None:
+        """Install (or resize) ``tenant``'s in-flight window."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window[tenant] = window
+
+    def window_of(self, tenant: str) -> int | None:
+        """The configured window, or None if the tenant is unmetered."""
+        return self._window.get(tenant)
+
+    def inflight(self, tenant: str) -> int:
+        """Currently admitted-but-uncompleted ops for ``tenant``."""
+        return self._inflight.get(tenant, 0)
+
+    def try_acquire(self, tenant: str) -> bool:
+        """Admit one op, or return False if the window is full.
+
+        Tenants without a configured window are never shed (they are
+        still counted, so reports stay complete).
+        """
+        window = self._window.get(tenant)
+        inflight = self._inflight.get(tenant, 0)
+        if window is not None and inflight >= window:
+            self.shed[tenant] = self.shed.get(tenant, 0) + 1
+            return False
+        self._inflight[tenant] = inflight + 1
+        self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+        return True
+
+    def release(self, tenant: str) -> None:
+        """Return one in-flight slot (op completed or failed)."""
+        inflight = self._inflight.get(tenant, 0)
+        if inflight <= 0:
+            raise RuntimeError(f"release without acquire for {tenant!r}")
+        self._inflight[tenant] = inflight - 1
+
+    def total_shed(self) -> int:
+        """Ops shed across all tenants."""
+        return sum(self.shed.values())

@@ -1,0 +1,106 @@
+"""Tenant specifications: workload shape + QoS contract, one object.
+
+A :class:`TenantSpec` is pure configuration — frozen, hashable, and
+cheap to :func:`dataclasses.replace` — so sweeps can vary one axis
+(rate, weight, burstiness) while holding the rest fixed.  The QoS
+fields reuse :class:`~repro.osd.opqueue.QosSpec` directly: the spec a
+tenant carries is the spec the OSD scheduler enforces (reservation and
+limit are *aggregate* ops/s across the cluster; the runner divides by
+OSD count when installing per-queue tags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..osd.opqueue import QosSpec
+
+__all__ = ["TenantSpec", "default_tenants"]
+
+_ARRIVALS = ("poisson", "bursty")
+
+KB = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class TenantSpec:
+    """One tenant's offered load and service contract."""
+
+    #: Unique tenant name; travels on the wire in ``MOSDOp``.
+    name: str
+    #: Offered arrival rate in ops/s (open loop: arrivals keep coming
+    #: whether or not earlier ops completed).
+    rate: float
+    #: mClock tags enforced by every OSD's op queue.  ``reservation``
+    #: and ``limit`` are aggregate ops/s across the cluster.
+    qos: QosSpec = QosSpec()
+    #: ``poisson`` — independent exponential gaps at ``rate``;
+    #: ``bursty`` — batches of ``burst`` back-to-back arrivals whose
+    #: batch gaps preserve the same mean rate.
+    arrival: str = "poisson"
+    #: Arrivals per batch when ``arrival == "bursty"``.
+    burst: int = 4
+    #: Probability an arrival is a read (over the prepopulated set).
+    read_ratio: float = 0.0
+    #: Object sizes drawn uniformly per arrival.
+    sizes: tuple[int, ...] = (64 * KB,)
+    #: Client-side admission window: max in-flight ops before arrivals
+    #: are shed with ``-EAGAIN``.
+    window: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.arrival not in _ARRIVALS:
+            raise ValueError(
+                f"arrival must be one of {_ARRIVALS}, got {self.arrival!r}"
+            )
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError(
+                f"read_ratio must be in [0, 1], got {self.read_ratio}"
+            )
+        if not self.sizes or any(s <= 0 for s in self.sizes):
+            raise ValueError(f"sizes must be positive, got {self.sizes}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+
+def default_tenants(
+    count: int = 8,
+    *,
+    reservation: float = 20.0,
+    rate: float = 120.0,
+    object_size: int = 64 * KB,
+    window: int = 64,
+) -> list[TenantSpec]:
+    """A deterministic mixed-personality tenant set for experiments.
+
+    Every tenant gets the same ``reservation`` floor and offered
+    ``rate``; weights cycle 1..4 so spare capacity splits unevenly on
+    purpose.  Tenant 1 (when present) is bursty, and the last tenant is
+    limit-capped at twice its reservation — together they exercise all
+    three mClock tag kinds.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    tenants: list[TenantSpec] = []
+    for i in range(count):
+        spec = TenantSpec(
+            name=f"t{i}",
+            rate=rate,
+            qos=QosSpec(reservation=reservation, weight=float(1 + i % 4)),
+            sizes=(object_size,),
+            window=window,
+        )
+        if i == 1:
+            spec = replace(spec, arrival="bursty", burst=4)
+        if i == count - 1:
+            spec = replace(
+                spec, qos=replace(spec.qos, limit=2.0 * reservation)
+            )
+        tenants.append(spec)
+    return tenants

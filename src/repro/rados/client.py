@@ -120,6 +120,10 @@ class RadosClient:
         #: the ``MOSDOp`` through the stack.  ``None`` (default) keeps
         #: the client entirely untraced.
         self.tracer: Any = None
+        #: Optional :class:`repro.qos.AdmissionController`; when set,
+        #: tenant-tagged ops that exceed the tenant's in-flight window
+        #: are shed with ``-EAGAIN`` before touching the wire.
+        self.admission: Any = None
         messenger.register_dispatcher(self)
 
         # statistics
@@ -130,6 +134,7 @@ class RadosClient:
         self.timeouts = 0
         self.map_refetches = 0
         self.ops_failed = 0
+        self.ops_shed = 0
 
     # ---------------------------------------------------------------- boot
     def boot(self) -> Generator[Any, Any, None]:
@@ -179,6 +184,7 @@ class RadosClient:
         size: int,
         offset: int = 0,
         data: Optional[DataBlob] = None,
+        tenant: str = "",
     ) -> Generator[Any, Any, OpResult]:
         """Write ``size`` bytes; resumes when the cluster acks durability.
 
@@ -187,15 +193,18 @@ class RadosClient:
         res = yield from self._do_op(
             pool, oid, OpType.WRITE, size, offset,
             data if data is not None else DataBlob(size),
+            tenant=tenant,
         )
         self.bytes_written += size
         return res
 
     def read_object(
-        self, pool: str, oid: str, size: int, offset: int = 0
+        self, pool: str, oid: str, size: int, offset: int = 0,
+        tenant: str = "",
     ) -> Generator[Any, Any, OpResult]:
         """Read ``size`` bytes from an object."""
-        res = yield from self._do_op(pool, oid, OpType.READ, size, offset, None)
+        res = yield from self._do_op(pool, oid, OpType.READ, size, offset,
+                                     None, tenant=tenant)
         self.bytes_read += res.data.length if res.data else 0
         return res
 
@@ -219,9 +228,37 @@ class RadosClient:
         size: int,
         offset: int,
         data: Optional[DataBlob],
+        tenant: str = "",
     ) -> Generator[Any, Any, OpResult]:
         if self.osdmap is None:
             raise RadosError(-107, "client not booted")
+        if tenant and self.admission is not None:
+            # Admission gate runs before any simulated work: a shed op
+            # costs nothing and perturbs nothing (-EAGAIN, counted).
+            if not self.admission.try_acquire(tenant):
+                self.ops_shed += 1
+                raise RadosError(
+                    -11, f"{op.name} {pool}/{oid}: tenant {tenant} window full"
+                )
+        try:
+            result = yield from self._do_op_inner(
+                pool, oid, op, size, offset, data, tenant
+            )
+        finally:
+            if tenant and self.admission is not None:
+                self.admission.release(tenant)
+        return result
+
+    def _do_op_inner(
+        self,
+        pool: str,
+        oid: str,
+        op: OpType,
+        size: int,
+        offset: int,
+        data: Optional[DataBlob],
+        tenant: str = "",
+    ) -> Generator[Any, Any, OpResult]:
         t0 = self.env.now
         attempt = 0
         client_cpu = self.messenger.stack.cpu.name
@@ -235,6 +272,8 @@ class RadosClient:
             )
             root_span.tag("pool", pool)
             root_span.tag("oid", oid)
+            if tenant:
+                root_span.tag("tenant", tenant)
         while True:
             attempt += 1
             pgid = self.osdmap.object_to_pg(pool, oid)
@@ -279,7 +318,7 @@ class RadosClient:
             msg = MOSDOp(
                 tid=tid, pool=pool, object_name=oid, op=op,
                 length=size, offset=offset, data=data,
-                map_epoch=self.osdmap.epoch,
+                map_epoch=self.osdmap.epoch, tenant=tenant,
             )
             if attempt_span is not None:
                 msg.span_ctx = attempt_span.context  # type: ignore[attr-defined]

@@ -49,6 +49,7 @@ from typing import Any, Iterable, Optional
 from .util.rng import SeededRng
 
 __all__ = [
+    "QOS_CATEGORY",
     "Span",
     "SpanContext",
     "Tracer",
@@ -59,6 +60,12 @@ __all__ = [
 
 #: Tolerance for float comparisons on simulated timestamps.
 EPS = 1e-9
+
+#: Span category for QoS-plane work (admission shedding, mClock
+#: scheduling decisions) — keeps serving-control spans separable from
+#: data-path categories (``client``/``msgr``/``osd``/``bstore``) in
+#: per-category CPU attribution and span queries.
+QOS_CATEGORY = "qos"
 
 
 class Span:

@@ -12,7 +12,25 @@ import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
-__all__ = ["RunningStats", "Histogram", "TimeSeries", "percentile"]
+__all__ = ["RunningStats", "Histogram", "TimeSeries", "percentile",
+           "jain_fairness_index"]
+
+
+def jain_fairness_index(values: list[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)``.
+
+    1.0 when every tenant gets an equal share, → 1/n as one tenant
+    hogs everything.  For QoS we feed *normalized* allocations (e.g.
+    goodput / weight), so 1.0 means "fair per the configured shares".
+    Empty or all-zero input returns 1.0 (nothing to be unfair about).
+    """
+    if not values:
+        return 1.0
+    total = sum(values)
+    square_sum = sum(v * v for v in values)
+    if square_sum <= 0.0:
+        return 1.0
+    return (total * total) / (len(values) * square_sum)
 
 
 def percentile(sorted_values: list[float], p: float) -> float:

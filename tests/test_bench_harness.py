@@ -188,3 +188,86 @@ def test_bench_rejects_unknown_op():
     with pytest.raises(ValueError):
         run_rados_bench(cluster, object_size=MB, clients=1, duration=1.0,
                         warmup=0.1, op="scribble")
+
+
+def test_randread_and_mixed_ops():
+    def run(op):
+        env = Environment()
+        cluster = build_baseline_cluster(env)
+        return run_rados_bench(
+            cluster, object_size=256 * 1024, clients=2, duration=2.0,
+            warmup=0.5, op=op, read_ratio=0.5, prepopulate=8, seed=4,
+        )
+
+    for op in ("randread", "mixed"):
+        r = run(op)
+        assert r.completed_ops > 0
+        assert r.completed_ops == len(r.latencies)
+        # same seed => identical op sequence and results
+        again = run(op)
+        assert again.completed_ops == r.completed_ops
+        assert again.latencies == r.latencies
+
+
+# ---------------------------------------------------------------- schema
+
+
+def test_bench_schema_accepts_canonical_dict():
+    from repro.bench import bench_result_dict
+    from repro.bench.schema import validate_bench_result, validate_payload
+
+    env = Environment()
+    cluster = build_baseline_cluster(env)
+    r = run_rados_bench(cluster, object_size=1 * MB, clients=2,
+                        duration=2.0, warmup=0.5)
+    d = bench_result_dict(r)
+    validate_bench_result(d)  # must not raise
+    assert validate_payload({"points": [{"baseline": d}]}) == 1
+
+
+def test_bench_schema_rejects_drift():
+    from repro.bench.schema import SchemaError, validate_bench_result
+
+    good = {
+        "object_size": 4096, "clients": 1, "duration_s": 1.0,
+        "iops": 10.0, "throughput_MBps": 0.04, "completed_ops": 10,
+        "latency_s": {"mean": 0.1, "p50": 0.1, "p90": 0.1, "p99": 0.1,
+                      "max": 0.1},
+        "cpu": {"host_utilization_pct": 5.0},
+    }
+    validate_bench_result(good)
+    for mutant, msg in (
+        ({**good, "latency_s": {**good["latency_s"], "p95": 0.1}},
+         "unknown latency key"),
+        ({**good, "iops": "fast"}, "wrong type"),
+        ({k: v for k, v in good.items() if k != "completed_ops"},
+         "missing key"),
+        ({**good, "engine": {"wall_clock_s": 1.0}},
+         "engine present but incomplete"),
+    ):
+        with pytest.raises(SchemaError):
+            validate_bench_result(mutant)
+
+
+def test_write_bench_json_validates_payload(tmp_path):
+    from repro.bench import write_bench_json
+    from repro.bench.schema import SchemaError
+
+    bad = {"points": [{"baseline": {"iops": 1.0, "latency_s": {}}}]}
+    with pytest.raises(SchemaError):
+        write_bench_json("nope", bad, out_dir=tmp_path)
+    assert not list(tmp_path.iterdir())
+
+
+def test_committed_artifacts_pass_schema():
+    import json
+    import pathlib
+
+    from repro.bench.schema import validate_payload
+
+    results = pathlib.Path("benchmarks/results")
+    checked = 0
+    for path in sorted(results.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        checked += validate_payload(payload)
+    assert checked >= 10  # every committed bench block is schema-clean
