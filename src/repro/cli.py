@@ -401,6 +401,110 @@ def _cmd_perf(args: argparse.Namespace) -> tuple[str, int]:
     return "\n".join(lines), code
 
 
+def _cmd_engine(args: argparse.Namespace) -> tuple[str, int]:
+    """Compiled-kernel lifecycle: build the optional C extension, or
+    prove the built kernel against the pure-Python engine.
+
+    ``build`` compiles ``repro/sim/_ckernel.c`` (exit 1 when the box has
+    no C compiler — the pure engine is always available).  ``check``
+    replays ``--scenario`` under both engines and enforces three gates:
+    the two builds' digests must be byte-identical, they must match the
+    committed ``--bench`` row (exit 3 otherwise), and the pure engine's
+    events/s must not fall below the committed figure by more than
+    ``--max-regression`` (exit 4) — the CI ``perf-engine`` job runs
+    exactly this."""
+    from . import engine_build
+    from . import perf as perfmod
+    from .sim import compiled as sim_compiled
+
+    if args.action == "clean":
+        removed = engine_build.clean()
+        if removed:
+            return f"engine: removed {engine_build.artifact_path()}", 0
+        return "engine: no artifact to remove", 0
+
+    try:
+        out = engine_build.build(force=args.force)
+    except RuntimeError as exc:  # no C compiler on this box
+        return f"engine: {exc}", 1
+
+    if args.action == "build":
+        return f"engine: built {out}", 0
+
+    # action == "check": measure pure first, then the compiled kernel.
+    was_compiled = sim_compiled.ACTIVE_ENGINE == "compiled"
+    sim_compiled.deactivate()
+    pure = perfmod.measure(args.scenario, seed=args.seed,
+                           repeats=args.repeats)
+    if not sim_compiled.activate():
+        return f"engine: built {out} but the extension failed to load", 1
+    try:
+        comp = perfmod.measure(args.scenario, seed=args.seed,
+                               repeats=args.repeats)
+    finally:
+        if not was_compiled:
+            sim_compiled.deactivate()
+
+    lines = [
+        f"engine check: scenario={args.scenario} seed={args.seed}"
+        f" repeats={args.repeats}",
+        f"  pure      {pure.events_per_sec:12,.1f} events/s"
+        f"  ({pure.wall_s:.3f} s)",
+        f"  compiled  {comp.events_per_sec:12,.1f} events/s"
+        f"  ({comp.wall_s:.3f} s)"
+        f"  [{comp.events_per_sec / pure.events_per_sec:.2f}x pure]",
+    ]
+    code = 0
+    if pure.digest != comp.digest:
+        lines.append(f"  digest MISMATCH: pure {pure.digest} !="
+                     f" compiled {comp.digest}")
+        code = 3
+    else:
+        lines.append(f"  digests byte-identical: {pure.digest}")
+
+    if args.bench:
+        doc = json.loads(pathlib.Path(args.bench).read_text())
+        rows = doc.get("runs_compiled") or doc.get("runs") or []
+        row = next((r for r in rows
+                    if r.get("scenario") == args.scenario
+                    and r.get("seed") == args.seed), None)
+        if row is None:
+            lines.append(f"  bench: no ({args.scenario}, seed {args.seed})"
+                         f" row in {args.bench} — gates skipped")
+        else:
+            if row.get("digest") != pure.digest:
+                lines.append(
+                    f"  bench digest MISMATCH: committed"
+                    f" {row.get('digest')} — engine behavior changed"
+                )
+                code = 3
+            # Prefer the explicit conservative gate basis when the row
+            # carries one: point-estimate events/s is noisy on shared
+            # runners, so the trajectory figures stay honest while the
+            # gate trips only on genuine regressions.
+            committed = float(row.get("gate_pure_events_per_sec")
+                              or row.get("pure_events_per_sec")
+                              or row.get("post_events_per_sec") or 0.0)
+            if committed:
+                floor = committed / args.max_regression
+                if pure.events_per_sec < floor:
+                    lines.append(
+                        f"  throughput REGRESSION: pure"
+                        f" {pure.events_per_sec:,.1f} events/s <"
+                        f" {floor:,.1f}"
+                        f" (committed {committed:,.1f}"
+                        f" / {args.max_regression:g})"
+                    )
+                    code = 4
+                else:
+                    lines.append(
+                        f"  throughput vs committed:"
+                        f" {pure.events_per_sec / committed:.2f}x"
+                        f" (floor 1/{args.max_regression:g})"
+                    )
+    return "\n".join(lines), code
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> tuple[str, int]:
     """Coverage-guided scenario fuzzing (repro.fuzz).
 
@@ -780,6 +884,34 @@ def build_parser() -> argparse.ArgumentParser:
                            "before exiting 4")
     add_json_opts(perf)
 
+    engine = sub.add_parser(
+        "engine", help="compiled-kernel lifecycle: build the optional C "
+                       "kernel, or prove it against the pure engine "
+                       "(exit 3 on digest divergence, 4 on throughput "
+                       "regression)")
+    engine.add_argument("action", choices=("build", "check", "clean"),
+                        help="build the extension, run the cross-build "
+                             "digest + throughput gates, or remove the "
+                             "artifact")
+    engine.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        default="fallback",
+                        help="replay workload for 'check'")
+    engine.add_argument("--seed", type=int, default=0,
+                        help="scenario seed for 'check'")
+    engine.add_argument("--repeats", type=int, default=3,
+                        help="replay count per engine; wall time is the "
+                             "fastest run")
+    engine.add_argument("--force", action="store_true",
+                        help="rebuild even when the artifact is newer "
+                             "than the source")
+    engine.add_argument("--bench", metavar="FILE",
+                        default="benchmarks/results/BENCH_perf_engine.json",
+                        help="committed trajectory file for the digest + "
+                             "throughput gates ('' skips them)")
+    engine.add_argument("--max-regression", type=float, default=1.10,
+                        help="fail (exit 4) when pure events/s falls "
+                             "below committed/<this>")
+
     fuzz = sub.add_parser(
         "fuzz", help="coverage-guided scenario fuzzing over the chaos/"
                      "durability oracle (exit 3 on violation, with the "
@@ -894,6 +1026,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(text)
             if code:
                 return code  # 3 = digest mismatch, 4 = wall regression
+        elif args.command == "engine":
+            text, code = _cmd_engine(args)
+            print(text)
+            if code:
+                return code  # 1 = no compiler, 3 = digest, 4 = regression
         elif args.command == "fuzz":
             text, code = _cmd_fuzz(args)
             print(text)

@@ -1,0 +1,98 @@
+"""Build the optional compiled simulation kernel (``_ckernel.c`` → ``.so``).
+
+Lives at the package top level, *outside* the simulated layers: building
+shells out to the C compiler, and SIM201 (rightly) bans real
+subprocesses anywhere under ``repro/sim/``.  The simulation side only
+ever imports the finished artifact (see :mod:`repro.sim.compiled`).
+
+No third-party build system is involved — just the in-tree compiler and
+the interpreter's own headers — so the build is a single, reproducible
+command::
+
+    cc -O2 -fPIC -shared -I<python-include> _ckernel.c -o _ckernel<ext-suffix>
+
+Invoke via ``python -m repro engine build`` or
+``repro.engine_build.build()``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sysconfig
+from pathlib import Path
+from typing import Optional
+
+#: Compilers probed in order when $CC is not forced by the caller.
+_COMPILERS = ("cc", "gcc", "clang")
+
+
+def source_path() -> Path:
+    """Location of the kernel's C source inside the package."""
+    return Path(__file__).resolve().parent / "sim" / "_ckernel.c"
+
+
+def artifact_path() -> Path:
+    """Target path of the built extension (importable as repro.sim._ckernel)."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return source_path().with_name("_ckernel" + suffix)
+
+
+def find_compiler(explicit: Optional[str] = None) -> Optional[str]:
+    """Resolve a C compiler binary, or None if the box has none."""
+    candidates = (explicit,) if explicit else _COMPILERS
+    for name in candidates:
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def build(
+    compiler: Optional[str] = None,
+    force: bool = False,
+    quiet: bool = False,
+) -> Path:
+    """Compile ``_ckernel.c`` into an importable extension module.
+
+    Skips the compile when the artifact is already newer than the
+    source (unless ``force``).  Raises ``RuntimeError`` when no compiler
+    is available and ``subprocess.CalledProcessError`` when the compile
+    itself fails — callers decide whether missing-compiler is fatal
+    (the CI perf-engine job) or a graceful fallback (everything else).
+    """
+    src = source_path()
+    out = artifact_path()
+    if (
+        not force
+        and out.exists()
+        and out.stat().st_mtime_ns >= src.stat().st_mtime_ns
+    ):
+        return out
+    cc = find_compiler(compiler)
+    if cc is None:
+        raise RuntimeError(
+            "no C compiler found (tried: %s); the pure-Python engine "
+            "remains fully functional" % ", ".join(_COMPILERS)
+        )
+    include = sysconfig.get_paths()["include"]
+    cmd = [
+        cc,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        f"-I{include}",
+        str(src),
+        "-o",
+        str(out),
+    ]
+    subprocess.run(cmd, check=True, capture_output=quiet)
+    return out
+
+
+def clean() -> bool:
+    """Remove the built artifact; True if one was present."""
+    out = artifact_path()
+    if out.exists():
+        out.unlink()
+        return True
+    return False

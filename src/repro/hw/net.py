@@ -21,8 +21,85 @@ from typing import Any, Callable, Generator, Optional
 
 from ..sim import Environment, Resource
 from ..sim.exceptions import SimulationError
+from ..sim.machine import Machine
 
 __all__ = ["BandwidthPipe", "Nic", "Network", "Partition"]
+
+
+class _RxChunk(Machine):
+    """Flattened receive-side chunk: propagation latency, then the
+    receiver's rx pipe.
+
+    This is the single hottest process type in the repo (~25% of all
+    event resumptions on the fallback scenario), so the generator
+    closure in :meth:`Network.deliver` is replaced with a state machine.
+    Event parity with ``env.process(rx_chunk(chunk), name="rx-chunk")``:
+    kick (= ``Initialize``), latency sleep, one request + one sleep per
+    rx-pipe chunk with the pipe released *before* the byte accounting
+    (matching ``BandwidthPipe.transmit``'s ``finally``), completion
+    event on return.  Never interrupted: abandoning a delivery detaches
+    the waiter from this machine's completion event, exactly as it
+    detached from the rx-chunk ``Process``.
+    """
+
+    __slots__ = ("_pipe", "_remaining", "_chunk", "_ser", "_req")
+
+    def __init__(
+        self, env: Environment, pipe: BandwidthPipe, nbytes: int, latency_s: float
+    ) -> None:
+        super().__init__(env, "rx-chunk")
+        self._pipe = pipe
+        self._remaining = nbytes
+        self._chunk = 0
+        # _ser carries the pending sleep duration for the next park; the
+        # first park (made when the kick fires, matching the generator's
+        # first resume) is the propagation latency.
+        self._ser = latency_s
+        self._req: Any = None
+        self._start(self._s_kicked)
+
+    # Parks append the state callback directly instead of via _park:
+    # nothing ever interrupts an rx chunk, so the Process duck-type
+    # fields (_target/_bound_resume) need not be maintained.
+    def _s_kicked(self, event: Any) -> None:
+        self.env.sleep(self._ser).callbacks.append(self._s_latency_done)
+
+    def _s_latency_done(self, event: Any) -> None:
+        self._next_chunk()
+
+    def _next_chunk(self) -> None:
+        remaining = self._remaining
+        if remaining <= 0:
+            self._finish(None)
+            return
+        pipe = self._pipe
+        chunk_bytes = pipe.chunk_bytes
+        chunk = chunk_bytes if remaining > chunk_bytes else remaining
+        ser = chunk * 8.0 / pipe.bandwidth_bps
+        injector = pipe.fault_injector
+        if injector is not None:
+            spec = injector.fire(self.env.now, size=chunk)
+            if spec is not None:
+                ser *= spec.factor
+                pipe.degraded_chunks += 1
+        self._chunk = chunk
+        self._ser = ser
+        req = pipe._res.request()
+        self._req = req
+        req.callbacks.append(self._s_granted)
+
+    def _s_granted(self, event: Any) -> None:
+        self.env.sleep(self._ser).callbacks.append(self._s_chunk_done)
+
+    def _s_chunk_done(self, event: Any) -> None:
+        pipe = self._pipe
+        pipe._res.finish(self._req)
+        self._req = None
+        chunk = self._chunk
+        pipe.bytes_transferred += chunk
+        pipe.busy_time += self._ser
+        self._remaining -= chunk
+        self._next_chunk()
 
 
 class BandwidthPipe:
@@ -260,10 +337,8 @@ class Network:
         src_nic = self.nic(src)
         dst_nic = self.nic(dst)
         env = self.env
-
-        def rx_chunk(chunk: int) -> Generator[Any, Any, None]:
-            yield env.sleep(self.latency_s)
-            yield from dst_nic.rx.transmit(chunk)
+        latency_s = self.latency_s
+        rx_pipe = dst_nic.rx
 
         rx_procs = []
         remaining = nbytes
@@ -272,7 +347,7 @@ class Network:
             yield from src_nic.tx.transmit(chunk)
             # chunks are spawned in order and the kernel breaks timer
             # ties FIFO, so per-connection ordering is preserved
-            rx_procs.append(env.process(rx_chunk(chunk), name="rx-chunk"))
+            rx_procs.append(_RxChunk(env, rx_pipe, chunk, latency_s))
             remaining -= chunk
         for proc in rx_procs:
             yield proc

@@ -12,7 +12,8 @@ load-bearing on (see DESIGN.md §9):
   checker).
 * ``PERF3xx`` — perf-invariants: hot-module classes declare
   ``__slots__``; slotted classes never assign undeclared attributes
-  (which would raise ``AttributeError`` at runtime).
+  (which would raise ``AttributeError`` at runtime); synchronous
+  drain loops in hot modules allocate nothing per event.
 
 Rules are plain functions registered by code; each takes a
 :class:`~repro.lint.engine.LintContext` and returns findings.
@@ -599,6 +600,25 @@ def sim202_resource_leak(ctx: LintContext) -> list[Finding]:
             ):
                 continue
             name = stmt.targets[0].id
+            # ``self._req = req`` hands ownership to the instance: a
+            # flattened state machine acquires in one state and releases
+            # in a later one (or on interrupt), so the function-local
+            # leak heuristic does not apply.  The machine's release
+            # discipline is pinned by the digest goldens instead.
+            escapes = any(
+                isinstance(n, ast.Assign)
+                and any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    for t in n.targets
+                )
+                and isinstance(n.value, ast.Name)
+                and n.value.id == name
+                for n in _walk_local(fn)
+            )
+            if escapes:
+                continue
             releases = [
                 n for n in _walk_local(fn) if _is_release_call(n, name)
             ]
@@ -775,6 +795,156 @@ def perf302_slot_violation(ctx: LintContext) -> list[Finding]:
                             f"assignment to self.{target.attr} not declared "
                             f"in __slots__ of {node.name} (or its bases) — "
                             "AttributeError at runtime",
+                        )
+                    )
+    return findings
+
+
+def _is_drain_loop(node: ast.While) -> bool:
+    """A synchronous event-drain loop: ``while queue:`` /
+    ``while self._queue:`` / ``while True:`` with no sim waits inside.
+
+    Loops that ``yield`` run in simulated time — one iteration per
+    grant or timeout — so a per-iteration allocation there is ordinary
+    model code, not dispatch overhead.  Loops that never yield drain
+    synchronously (the engine's run/step loops, generator drivers,
+    resource trigger cascades): every allocation inside them lands on
+    the per-event path.
+    """
+    test = node.test
+    if isinstance(test, ast.Constant):
+        if test.value is not True and test.value != 1:
+            return False
+    elif not isinstance(test, (ast.Name, ast.Attribute)):
+        return False
+    return not any(
+        isinstance(n, (ast.Yield, ast.YieldFrom, ast.Await))
+        for n in _walk_local(node)
+    )
+
+
+#: Callables whose *call* mints a new callable object per iteration.
+_CLOSURE_FACTORIES = frozenset({"functools.partial", "partial"})
+
+
+@rule(
+    "PERF303",
+    "hot-loop-allocation",
+    "per-event allocation inside a synchronous drain loop in a hot module",
+)
+def perf303_hot_loop_allocation(ctx: LintContext) -> list[Finding]:
+    """Flag per-iteration allocations inside hot drain loops.
+
+    The engine's throughput is bounded by what each pop of the event
+    heap allocates: a closure, a bound method, or a fresh container
+    minted per event turns into hundreds of thousands of allocations
+    per run (DESIGN.md §13).  The discipline — hoist loop invariants,
+    prebind callbacks once, reuse containers — is easy to erode one
+    convenient lambda at a time, so it is pinned here.
+
+    Flags, inside ``while <name>:`` / ``while True:`` loops that never
+    yield, in hot-tagged files:
+
+    * ``lambda`` / nested ``def`` — a closure minted per iteration;
+    * ``functools.partial(...)`` — same, via factory;
+    * list/set/dict displays and comprehensions — a container per
+      iteration (``list(xs)``-style snapshot *calls* are allowed: a
+      mutation-safe copy is semantics, not convenience);
+    * ``xs.append(self.on_event)`` where ``on_event`` is a *method* of
+      the enclosing class — a bound method minted per iteration;
+      prebind it once (``self._cb = self.on_event`` at init) and
+      append the prebound slot instead.  Appending a data attribute or
+      an already-prebound reference is clean.
+    """
+    if not ctx.config.is_hot(ctx.relpath):
+        return []
+    findings = []
+    # Map each drain loop to (self_name, method names of the enclosing
+    # class) so the bound-method check can tell ``self.method`` apart
+    # from ``self.data_slot``.
+    loop_self: dict[ast.While, tuple[str, frozenset[str]]] = {}
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        methods = frozenset(
+            m.name
+            for m in cls.body
+            if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not method.args.args:
+                continue
+            self_name = method.args.args[0].arg
+            for sub in ast.walk(method):
+                if isinstance(sub, ast.While):
+                    loop_self[sub] = (self_name, methods)
+    for loop in ast.walk(ctx.tree):
+        if not isinstance(loop, ast.While) or not _is_drain_loop(loop):
+            continue
+        self_name, methods = loop_self.get(loop, ("", frozenset()))
+        for sub in _walk_local(loop):
+            if isinstance(sub, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.append(
+                    ctx.finding(
+                        sub,
+                        "PERF303",
+                        "closure created inside a hot drain loop — one "
+                        "function object per event; hoist it out of the "
+                        "loop or prebind it",
+                    )
+                )
+            elif isinstance(
+                sub,
+                (
+                    ast.List,
+                    ast.Set,
+                    ast.Dict,
+                    ast.ListComp,
+                    ast.SetComp,
+                    ast.DictComp,
+                    ast.GeneratorExp,
+                ),
+            ):
+                findings.append(
+                    ctx.finding(
+                        sub,
+                        "PERF303",
+                        "container literal inside a hot drain loop — one "
+                        "allocation per event; hoist or reuse it",
+                    )
+                )
+            elif isinstance(sub, ast.Call):
+                dotted = ctx.resolve(sub.func)
+                if dotted in _CLOSURE_FACTORIES:
+                    findings.append(
+                        ctx.finding(
+                            sub,
+                            "PERF303",
+                            "partial() inside a hot drain loop — one "
+                            "callable per event; prebind it once",
+                        )
+                    )
+                elif (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "append"
+                    and any(
+                        isinstance(arg, ast.Attribute)
+                        and isinstance(arg.value, ast.Name)
+                        and arg.value.id == self_name
+                        and arg.attr in methods
+                        for arg in sub.args
+                    )
+                ):
+                    findings.append(
+                        ctx.finding(
+                            sub,
+                            "PERF303",
+                            "bound method minted per event "
+                            "(append(self.method) in a hot drain loop) — "
+                            "prebind the callback once and append the "
+                            "prebound reference",
                         )
                     )
     return findings

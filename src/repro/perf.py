@@ -36,6 +36,8 @@ from .bench.radosbench import BenchResult, run_rados_bench
 from .cluster.builder import build_baseline_cluster, build_doceph_cluster
 from .cluster.config import DocephProfile
 from .faults import FaultPlan
+from .qos.runner import run_qos
+from .qos.tenants import default_tenants
 from .sim import Environment
 from .trace import simulation_digest
 from .util.wallclock import perf_counter
@@ -52,6 +54,7 @@ __all__ = [
     "format_perf_report",
 ]
 
+KB = 1 << 10
 MB = 1 << 20
 
 #: A run with no attached fault plan; distinct from ``None`` arguments
@@ -69,7 +72,7 @@ class PerfScenario:
     """
 
     name: str
-    mode: str  # "baseline" | "doceph"
+    mode: str  # "baseline" | "doceph" | "qos"
     object_size: int
     clients: int
     duration: float
@@ -108,6 +111,12 @@ SCENARIOS: dict[str, PerfScenario] = {
             duration=4.0, warmup=1.0,
             description="DPU-messenger DoCeph write run (§5)",
         ),
+        PerfScenario(
+            name="qos", mode="qos", object_size=64 * KB, clients=4,
+            duration=2.0, warmup=0.0,
+            description="multi-tenant open-loop mClock serving replay "
+                        "(PR-8 workload; warmup unused)",
+        ),
     )
 }
 
@@ -135,6 +144,25 @@ def run_scenario(
             FaultPlan.parse(scenario.faults, seed=seed)
             if scenario.faults else None
         )
+    if scenario.mode == "qos":
+        if fault_plan is not None:
+            raise ValueError(
+                "the qos scenario drives run_qos, which has no fault-plan "
+                "hookup; pass fault_plan=None"
+            )
+        env = Environment()
+        qos_result = run_qos(
+            "full-osd",
+            default_tenants(
+                count=scenario.clients, object_size=scenario.object_size
+            ),
+            seed=seed,
+            duration=scenario.duration,
+            prepopulate=16,
+            env=env,
+            tracer=tracer,
+        )
+        return env, qos_result.bench
     profile = None
     if scenario.fast_recovery:
         # same tuning as experiment_fallback: prompt fault detection

@@ -102,6 +102,8 @@ def run_qos(
     duration: float = 20.0,
     prepopulate: int = 64,
     trace: bool = False,
+    env: Optional[Environment] = None,
+    tracer: Optional[Tracer] = None,
 ) -> QosResult:
     """Run one multi-tenant open-loop serving experiment.
 
@@ -110,6 +112,11 @@ def run_qos(
     defaults to :func:`~repro.qos.tenants.default_tenants`.  The same
     ``(strategy, tenants, seed, duration)`` always produces the same
     :attr:`QosResult.fingerprint`.
+
+    ``env`` injects a caller-owned (fresh) :class:`Environment` so
+    harnesses that digest the event stream afterwards — the ``qos``
+    perf-replay scenario — can reach it; ``tracer`` likewise overrides
+    the ``trace`` flag with a caller-owned tracer.
     """
     specs = list(tenants) if tenants is not None else default_tenants()
     if not specs:
@@ -119,8 +126,10 @@ def run_qos(
         raise ValueError(f"duplicate tenant names: {names}")
 
     strat = get_strategy(strategy)
-    env = Environment()
-    tracer = Tracer(seed=seed) if trace else None
+    if env is None:
+        env = Environment()
+    if tracer is None and trace:
+        tracer = Tracer(seed=seed)
     cluster = strat.build(env, tracer=tracer)
     client = cluster.client
     assert client is not None

@@ -9,7 +9,15 @@ Design notes
 * **Determinism.**  The event heap orders entries by
   ``(time, priority, sequence)``.  The monotonically increasing sequence
   number breaks ties in insertion order, so two runs of the same model
-  with the same seed produce identical traces.
+  with the same seed produce identical traces.  An entry is the 4-tuple
+  ``(time, priority, sequence, event)`` — small ints deliberately kept
+  unpacked, because CPython compares them in one machine word whereas a
+  ``priority << k | seq`` packed key goes multi-digit and slows every
+  heap sift (measured ~5% on the fallback scenario).
+* **One schedule fast path.**  Every event enters the heap through
+  :func:`_schedule_at` — the single audited site that mints a sequence
+  number and pushes.  Hot constructors call it directly; auditing (or
+  batching) scheduling means auditing that one function.
 * **Processes are generators.**  A process yields events; when a yielded
   event triggers, the process is resumed with the event's value (or the
   event's exception is thrown into it).
@@ -53,6 +61,22 @@ PRIORITY_NORMAL = 1
 
 # Sentinel distinguishing "not yet triggered" from "triggered with None".
 _PENDING = object()
+
+
+def _schedule_at(
+    env: "Environment", event: "Event", at: float, priority: int
+) -> None:
+    """THE schedule fast path: every event enters the heap here.
+
+    Mints the tie-break sequence number and pushes the 4-tuple heap
+    entry.  Peak-heap tracking deliberately does not live here: the heap
+    only shrinks at pops, so the high-water mark is always attained at
+    the top of a ``run()``/``step()`` iteration (plus the run-boundary
+    checks in :meth:`Environment.run`), which spares every schedule a
+    len+compare.
+    """
+    env._seq = seq = env._seq + 1
+    heappush(env._queue, (at, priority, seq, event))
 
 #: Callables invoked (in registration order) whenever a new
 #: :class:`Environment` is constructed.  Modules with process-global
@@ -145,12 +169,8 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        # Inlined env.schedule(self) — succeed() is the hottest trigger.
-        # The literal 1 is PRIORITY_NORMAL; peak-heap tracking lives at
-        # the top of the run loop (see :meth:`Environment.run`).
         env = self.env
-        env._seq = seq = env._seq + 1
-        heappush(env._queue, (env._now, 1, seq, self))
+        _schedule_at(env, self, env._now, PRIORITY_NORMAL)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -209,12 +229,8 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self.delay = delay
-        # Inlined env.schedule(self, delay); 1 is PRIORITY_NORMAL and
-        # peak-heap tracking happens in the run loop.
-        env._seq = seq = env._seq + 1
-        heappush(
-            env._queue,
-            (env._now + delay if delay else env._now, 1, seq, self),
+        _schedule_at(
+            env, self, env._now + delay if delay else env._now, PRIORITY_NORMAL
         )
 
     def __repr__(self) -> str:
@@ -248,8 +264,7 @@ class Initialize(Event):
         self._value = None
         self._ok = True
         self._defused = False
-        env._seq = seq = env._seq + 1
-        heappush(env._queue, (env._now, PRIORITY_URGENT, seq, self))
+        _schedule_at(env, self, env._now, PRIORITY_URGENT)
 
 
 class _Interruption(Event):
@@ -344,11 +359,10 @@ class Process(Event):
                     event._defused = True
                     next_event = gen.throw(event._value)
             except StopIteration as stop:
-                # Process finished successfully (inlined schedule).
+                # Process finished successfully.
                 self._ok = True
                 self._value = stop.value
-                env._seq = seq = env._seq + 1
-                heappush(env._queue, (env._now, 1, seq, self))
+                _schedule_at(env, self, env._now, PRIORITY_NORMAL)
                 self._target = None
                 break
             except BaseException as exc:  # noqa: BLE001 - model errors propagate
@@ -501,6 +515,7 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
+        # Heap entries are (time, priority, seq, event).
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
@@ -561,12 +576,8 @@ class Environment:
         ev.callbacks = []
         ev._value = None
         ev.delay = delay
-        # Inlined schedule(ev, delay); 1 is PRIORITY_NORMAL and
-        # peak-heap tracking happens in the run loop.
-        self._seq = seq = self._seq + 1
-        heappush(
-            self._queue,
-            (self._now + delay if delay else self._now, 1, seq, ev),
+        _schedule_at(
+            self, ev, self._now + delay if delay else self._now, PRIORITY_NORMAL
         )
         return ev
 
@@ -597,31 +608,43 @@ class Environment:
             at = self._now + delay
         else:
             at = self._now
-        self._seq = seq = self._seq + 1
-        queue = self._queue
-        heappush(queue, (at, priority, seq, event))
-        if len(queue) > self._peak_pending:
-            self._peak_pending = len(queue)
+        _schedule_at(self, event, at, priority)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
-        if not self._queue:
+        """Process exactly one event (advancing the clock to it).
+
+        Single-step specialization of the :meth:`run` fast path: same
+        peak-heap accounting, same 1-callback dispatch shortcut, same
+        ``_Sleep`` recycling, same undefused-failure propagation —
+        interleaving ``step()`` with ``run()`` is behavior-identical to
+        one uninterrupted ``run()``.
+        """
+        queue = self._queue
+        if not queue:
             raise IndexError("no more events")
-        if len(self._queue) > self._peak_pending:
-            self._peak_pending = len(self._queue)
-        self._now, _, _, event = heappop(self._queue)
+        qlen = len(queue)
+        if qlen > self._peak_pending:
+            self._peak_pending = qlen
+        self._now, _, _, event = heappop(queue)
 
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        if len(callbacks) == 1:
+            callbacks[0](event)
+        else:
+            for callback in callbacks:
+                callback(event)
 
-        if not event._ok and not event._defused:
+        if event._ok:
+            sleep_pool = self._sleep_pool
+            if event.__class__ is _Sleep and len(sleep_pool) < 128:
+                event._value = _PENDING
+                sleep_pool.append(event)
+        elif not event._defused:
             # An unhandled failure: surface it instead of losing it.
             raise event._value  # type: ignore[misc]
 
@@ -639,6 +662,17 @@ class Environment:
 
         * :meth:`step` is inlined — at hundreds of thousands of events
           per run the call overhead is measurable.
+        * **Batched same-tick dispatch.**  Events sharing one
+          ``(time, priority)`` key are drained as a run: after each
+          dispatch the loop peeks the heap top and, while it still
+          belongs to the batch, pops it without re-testing the horizon
+          or re-storing the clock.  The continuation test is exact
+          native order — everything scheduled during the batch carries
+          a higher sequence number, so the only entry that can legally
+          sort *before* a remaining batch member is an urgent event at
+          the same timestamp, and its smaller priority breaks the
+          batch back into the outer loop (which pops it first, exactly
+          as the unbatched loop would).
         * Cyclic garbage collection is suspended for the duration of the
           loop.  Event/process/generator webs are cyclic by nature, so
           the collector otherwise scans a few hundred thousand live
@@ -668,8 +702,8 @@ class Environment:
         # float comparison per event instead of a None check + compare.
         horizon = float("inf") if stop_at is None else stop_at
         # Heap size only shrinks at pops, so its high-water mark is
-        # always attained at the top of an iteration; tracking it here
-        # (in a local) is exact and spares every schedule a len+compare.
+        # always attained just before a pop; tracking it here (in a
+        # local) is exact and spares every schedule a len+compare.
         peak = self._peak_pending
         # Bind loop invariants to locals: ~300k iterations make even a
         # LOAD_GLOBAL per event measurable.
@@ -681,33 +715,60 @@ class Environment:
             gc.disable()
         try:
             while queue:
-                qlen = len(queue)
-                if qlen > peak:
-                    peak = qlen
-                if queue[0][0] >= horizon:
+                head = queue[0]
+                at = head[0]
+                if at >= horizon:
                     self._now = stop_at  # type: ignore[assignment]
                     return None
-                self._now, _, _, event = pop(queue)
+                self._now = at
+                prio = head[1]
+                while True:
+                    qlen = len(queue)
+                    if qlen > peak:
+                        peak = qlen
+                    _, _, _, event = pop(queue)
 
-                callbacks = event.callbacks
-                event.callbacks = None
-                if len(callbacks) == 1:
-                    # The overwhelmingly common case: one parked process.
-                    callbacks[0](event)
-                else:
-                    for callback in callbacks:
-                        callback(event)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        # The overwhelmingly common case: one parked
+                        # process.
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
 
-                if event._ok:
-                    if event.__class__ is sleep_cls and len(sleep_pool) < 128:
-                        event._value = pending
-                        sleep_pool.append(event)
-                elif not event._defused:
-                    # An unhandled failure: surface it, don't lose it.
-                    raise event._value  # type: ignore[misc]
+                    if event._ok:
+                        if (
+                            event.__class__ is sleep_cls
+                            and len(sleep_pool) < 128
+                        ):
+                            event._value = pending
+                            sleep_pool.append(event)
+                    elif not event._defused:
+                        # An unhandled failure: surface it, don't lose
+                        # it.
+                        raise event._value  # type: ignore[misc]
+
+                    # Same-key continuation: stay in the batch while the
+                    # heap top shares this timestamp and priority class.
+                    # An urgent arrival (smaller key) or a later
+                    # timestamp falls through to the outer loop, which
+                    # re-tests the horizon and pops in native order.
+                    if not queue:
+                        break
+                    head = queue[0]
+                    if head[0] != at or head[1] != prio:
+                        break
         except StopSimulation as stop:
             return stop.args[0]
         finally:
+            # Run-boundary check: events scheduled since the last pop
+            # (setup before run(), pushes during the final callback) are
+            # still part of the high-water mark.
+            qlen = len(queue)
+            if qlen > peak:
+                peak = qlen
             self._peak_pending = peak
             if gc_was_enabled:
                 gc.enable()
@@ -716,6 +777,11 @@ class Environment:
             # Queue drained before the deadline; clock still advances.
             self._now = stop_at
         return None
+
+    #: Stable handle on the pure-Python loop: ``REPRO_ENGINE=compiled``
+    #: rebinds ``run`` (see sim/compiled.py); parity tests and
+    #: ``compiled.deactivate()`` reach the reference implementation here.
+    _run_pure = run
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now} pending={len(self._queue)}>"

@@ -23,10 +23,9 @@ them.  Requests support the context-manager protocol::
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Any, Callable, Optional
 
-from .core import Environment, Event, _PENDING
+from .core import Environment, Event, PRIORITY_NORMAL, _PENDING, _schedule_at
 from .exceptions import SimulationError
 
 __all__ = [
@@ -163,8 +162,7 @@ class Resource:
                 users.append(req)
                 req._value = None
                 env = self.env
-                env._seq = seq = env._seq + 1
-                heappush(env._queue, (env._now, 1, seq, req))
+                _schedule_at(env, req, env._now, PRIORITY_NORMAL)
             else:
                 req._value = _PENDING
                 self.queue.append(req)

@@ -391,6 +391,88 @@ def test_perf302_cross_file_base_resolution(tmp_path):
     assert "self.zap" in report.findings[0].message
 
 
+# ------------------------------------------------------------------ PERF303
+
+
+def test_perf303_flags_closure_and_literals_in_drain_loop():
+    src = (
+        "def drain(queue):\n"
+        "    while queue:\n"
+        "        ev = queue.pop()\n"
+        "        cb = lambda e: e.fire()\n"
+        "        batch = []\n"
+        "        tags = {'k': ev}\n"
+        "        names = [e.name for e in queue]\n"
+    )
+    found = lint_source(src, "repro/sim/loop.py", select=["PERF303"])
+    assert codes(found) == ["PERF303"]
+    assert len(found) == 4  # lambda, list, dict, listcomp
+
+
+def test_perf303_flags_partial_and_nested_def():
+    src = (
+        "from functools import partial\n"
+        "def drain(queue, fn):\n"
+        "    while True:\n"
+        "        if not queue:\n"
+        "            break\n"
+        "        queue.pop().callbacks.append(partial(fn, 1))\n"
+        "        def helper():\n"
+        "            return 1\n"
+    )
+    found = lint_source(src, "repro/sim/loop.py", select=["PERF303"])
+    assert len(found) == 2
+
+
+def test_perf303_flags_bound_method_mint_but_not_prebound_slot():
+    src = (
+        "class Pump:\n"
+        "    __slots__ = ('_cb',)\n"
+        "    def __init__(self):\n"
+        "        self._cb = self.on_event\n"
+        "    def on_event(self, ev):\n"
+        "        pass\n"
+        "    def drain(self, queue):\n"
+        "        while queue:\n"
+        "            ev = queue.pop()\n"
+        "            ev.callbacks.append(self.on_event)\n"  # minted per event
+        "            ev.callbacks.append(self._cb)\n"  # prebound: clean
+        "            ev.others.append(ev.item)\n"  # data attribute: clean
+    )
+    found = lint_source(src, "repro/sim/pump.py", select=["PERF303"])
+    assert len(found) == 1
+    assert "bound method" in found[0].message
+
+
+def test_perf303_yielding_loops_and_cold_files_are_clean():
+    hot_but_waiting = (
+        "def pump(env, queue):\n"
+        "    while queue:\n"
+        "        grant = [queue.pop()]\n"  # allocates, but loop waits in
+        "        yield env.sleep(1.0)\n"  # sim time: one lap per grant
+    )
+    assert lint_source(hot_but_waiting, "repro/sim/loop.py", select=["PERF303"]) == []
+    cold = (
+        "def report(rows):\n"
+        "    while rows:\n"
+        "        print([rows.pop()])\n"
+    )
+    assert lint_source(cold, "repro/bench/report.py", select=["PERF303"]) == []
+
+
+def test_perf303_snapshot_call_and_compare_tests_are_clean():
+    src = (
+        "def drain(queue, waiters):\n"
+        "    while queue:\n"
+        "        queue.pop().fire(list(waiters))\n"  # snapshot call: fine
+        "    i = 0\n"
+        "    while i < len(queue):\n"  # bounded scan, not a drain loop
+        "        batch = [queue[i]]\n"
+        "        i += 1\n"
+    )
+    assert lint_source(src, "repro/sim/loop.py", select=["PERF303"]) == []
+
+
 # ------------------------------------------------------------- suppressions
 
 
@@ -581,5 +663,5 @@ def test_fifo_drain_is_digest_neutral_with_until_events():
 def test_rule_catalogue_is_complete():
     assert sorted(RULES) == [
         "DET101", "DET102", "DET103", "DET104", "DET105", "DET106",
-        "DET107", "PERF301", "PERF302", "SIM201", "SIM202",
+        "DET107", "PERF301", "PERF302", "PERF303", "SIM201", "SIM202",
     ]

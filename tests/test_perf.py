@@ -59,6 +59,10 @@ GOLDEN = {
         "digest": "baa744a014860e3ff1abc1adb598f1051f7876cd9b7973642115e10149d6d0e3",
         "events": 271215, "sim_s": 5.071834561, "completed_ops": 417,
     },
+    ("qos", 0): {
+        "digest": "378bba53e1dd16ffdd7e66660e745a87408b9329d50dd0d016668649e82becbb",
+        "events": 256000, "sim_s": 3.725188211, "completed_ops": 834,
+    },
 }
 
 # smoke scenario with Tracer(seed=seed) attached; fingerprints cover
@@ -147,11 +151,18 @@ def test_perf_result_dict_round_trips():
 
 
 def test_scenarios_are_well_formed():
-    assert {"smoke", "fallback", "baseline", "doceph"} <= set(SCENARIOS)
+    assert {"smoke", "fallback", "baseline", "doceph", "qos"} <= set(SCENARIOS)
     for name, sc in SCENARIOS.items():
         assert sc.name == name
-        assert sc.mode in ("baseline", "doceph")
+        assert sc.mode in ("baseline", "doceph", "qos")
         assert sc.object_size > 0 and sc.clients > 0 and sc.duration > 0
+
+
+def test_qos_scenario_rejects_fault_plans():
+    from repro.faults import FaultPlan
+
+    with pytest.raises(ValueError):
+        run_scenario("qos", seed=0, fault_plan=FaultPlan.parse("dma,p=0"))
 
 
 # ------------------------------------------------------------------ perf CLI
