@@ -717,9 +717,10 @@ def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
     """Static analysis + optional dynamic tie-order probe.
 
     Returns (report text, exit code): 3 when there are findings not
-    covered by the baseline, or when the dynamic probe's FIFO control
+    covered by the baseline, when the dynamic probe's FIFO control
     run fails to reproduce the native digest (a probe defect, not a
-    model property)."""
+    model property), or when the ownership sanitizer reports a
+    violation or a digest perturbation."""
     from . import lint as lintmod
 
     lines: list[str] = []
@@ -745,7 +746,10 @@ def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
         baseline = lintmod.load_baseline(args.baseline)
         new = lintmod.filter_new(report.findings, baseline)
         for finding in new:
-            lines.append(finding.render())
+            lines.append(
+                finding.render_github() if args.format == "github"
+                else finding.render()
+            )
         grandfathered = len(report.findings) - len(new)
         lines.append(
             f"lint: {len(new)} new finding(s), {grandfathered} baselined,"
@@ -754,10 +758,20 @@ def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
         if new:
             code = 3
 
+    if args.ownership:
+        graph = lintmod.ownership_graph(report.project)
+        lines.append(lintmod.render_ownership_report(graph))
+
     if args.dynamic:
         tie = lintmod.check_tie_order(args.dynamic, seed=args.seed)
         lines.append(tie.render())
         if not tie.instrumentation_ok:
+            code = 3
+
+    if args.sanitize:
+        sane = lintmod.run_sanitized(args.sanitize, seed=args.seed)
+        lines.append(sane.render())
+        if not sane.ok:
             code = 3
 
     return "\n".join(lines), code
@@ -992,13 +1006,27 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--format", default="human",
+                      choices=["human", "github"],
+                      help="finding output format: human (default) or "
+                           "github (::error workflow-command "
+                           "annotations for inline PR review)")
+    lint.add_argument("--ownership", action="store_true",
+                      help="append the whole-program ownership report "
+                           "(per-node class roles, attribute "
+                           "classification, declared fabric edges)")
     lint.add_argument("--dynamic", default=None, metavar="SCENARIO",
                       choices=sorted(SCENARIOS),
                       help="also run the tie-order probe against a "
                            "repro.perf scenario and report "
                            "order-sensitive schedule sites")
+    lint.add_argument("--sanitize", default=None, metavar="SCENARIO",
+                      choices=sorted(SCENARIOS),
+                      help="also run the dynamic ownership sanitizer "
+                           "against a repro.perf scenario (exit 3 on "
+                           "violations or digest perturbation)")
     lint.add_argument("--seed", type=int, default=0,
-                      help="scenario seed for --dynamic")
+                      help="scenario seed for --dynamic/--sanitize")
     return parser
 
 

@@ -42,7 +42,16 @@ class _RxChunk(Machine):
     detached from the rx-chunk ``Process``.
     """
 
-    __slots__ = ("_pipe", "_remaining", "_chunk", "_ser", "_req")
+    __slots__ = (
+        "_pipe",
+        "_remaining",
+        "_chunk",
+        "_ser",
+        "_req",
+        "_cb_latency_done",
+        "_cb_granted",
+        "_cb_chunk_done",
+    )
 
     def __init__(
         self, env: Environment, pipe: BandwidthPipe, nbytes: int, latency_s: float
@@ -56,13 +65,19 @@ class _RxChunk(Machine):
         # first resume) is the propagation latency.
         self._ser = latency_s
         self._req: Any = None
+        # Prebound state callbacks: each park appends one of these, and
+        # minting a fresh bound method per park is an allocation on the
+        # hottest path in the repo (PERF303).
+        self._cb_latency_done = self._s_latency_done
+        self._cb_granted = self._s_granted
+        self._cb_chunk_done = self._s_chunk_done
         self._start(self._s_kicked)
 
     # Parks append the state callback directly instead of via _park:
     # nothing ever interrupts an rx chunk, so the Process duck-type
     # fields (_target/_bound_resume) need not be maintained.
     def _s_kicked(self, event: Any) -> None:
-        self.env.sleep(self._ser).callbacks.append(self._s_latency_done)
+        self.env.sleep(self._ser).callbacks.append(self._cb_latency_done)
 
     def _s_latency_done(self, event: Any) -> None:
         self._next_chunk()
@@ -86,10 +101,10 @@ class _RxChunk(Machine):
         self._ser = ser
         req = pipe._res.request()
         self._req = req
-        req.callbacks.append(self._s_granted)
+        req.callbacks.append(self._cb_granted)
 
     def _s_granted(self, event: Any) -> None:
-        self.env.sleep(self._ser).callbacks.append(self._s_chunk_done)
+        self.env.sleep(self._ser).callbacks.append(self._cb_chunk_done)
 
     def _s_chunk_done(self, event: Any) -> None:
         pipe = self._pipe

@@ -128,6 +128,28 @@ class Finding:
             f"{self.message} [{self.scope}]"
         )
 
+    def render_github(self) -> str:
+        """GitHub Actions ``::error`` workflow-command annotation.
+
+        Package-relative paths are mapped back under ``src/`` so the
+        annotation lands on the file in the repository checkout.
+        Newlines in the message would terminate the command, so they
+        are escaped per the workflow-command spec.
+        """
+        path = self.path
+        if path.startswith("repro/"):
+            path = f"src/{path}"
+        message = (
+            f"{self.message} [{self.scope}]"
+            .replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        return (
+            f"::error file={path},line={self.line},col={self.col},"
+            f"title={self.code}::{message}"
+        )
+
 
 @dataclass
 class ClassInfo:
@@ -147,6 +169,9 @@ class ClassInfo:
     #: Names assignable through descriptors (properties and their
     #: setters) — legal targets on a slotted class.
     descriptors: frozenset[str] = frozenset()
+    #: ``@dataclass(frozen=True)``: instances are immutable after
+    #: construction, so cross-node reads of their attributes are safe.
+    frozen: bool = False
 
     @property
     def qualname(self) -> str:
@@ -154,10 +179,21 @@ class ClassInfo:
 
 
 class ProjectIndex:
-    """Cross-file class table: ``module.Class`` → :class:`ClassInfo`."""
+    """Cross-file class table: ``module.Class`` → :class:`ClassInfo`.
+
+    Beyond the class table, the index keeps every parsed module tree
+    (``modules``) so whole-program passes — the ownership analysis —
+    can trace constructor-argument flow across files, plus a ``cache``
+    slot for analyses that are built once per lint run and shared by
+    several rules.
+    """
 
     def __init__(self) -> None:
         self.classes: dict[str, ClassInfo] = {}
+        #: module name → (package-relative path, parsed tree)
+        self.modules: dict[str, tuple[str, ast.Module]] = {}
+        #: scratch space for cross-rule analyses (ownership graph)
+        self.cache: dict[str, object] = {}
 
     def add(self, info: ClassInfo) -> None:
         self.classes[info.qualname] = info
@@ -362,6 +398,9 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[Finding] = field(default_factory=list)
+    #: The project index built during the run, so callers (the
+    #: ``--ownership`` report) can reuse the parse work.
+    project: "ProjectIndex" = field(default_factory=lambda: ProjectIndex())
 
     def counts_by_code(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -408,6 +447,7 @@ def _index_file(
 ) -> None:
     """Record every class in ``tree`` into the project index."""
     module = module_name(relpath)
+    project.modules[module] = (relpath, tree)
     imports = _build_import_table(tree, module)
 
     def resolve_base(expr: ast.expr) -> str:
@@ -441,6 +481,7 @@ def _index_file(
                 slots=slots,
                 opaque=opaque,
                 descriptors=descriptors,
+                frozen=dataclass_frozen_decorator(node),
             )
         )
 
@@ -463,6 +504,26 @@ def dataclass_slots_decorator(node: ast.ClassDef) -> Optional[bool]:
                     )
         return False
     return None
+
+
+def dataclass_frozen_decorator(node: ast.ClassDef) -> bool:
+    """``True`` when the class is declared ``@dataclass(frozen=True)``."""
+    for dec in node.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        target = dec.func
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name != "dataclass":
+            continue
+        for kw in dec.keywords:
+            if kw.arg == "frozen":
+                return (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                )
+    return False
 
 
 def _annotated_fields(node: ast.ClassDef) -> frozenset[str]:
@@ -571,7 +632,7 @@ def lint_paths(
     resolve base classes across modules, then rules run per file.
     """
     report = LintReport()
-    project = ProjectIndex()
+    project = report.project
     parsed: list[tuple[str, str, ast.Module]] = []
     for path in iter_python_files(paths):
         relpath = package_relpath(path)
